@@ -1,0 +1,90 @@
+"""E13 — ablation: what skew-resilient joins buy (§1.4, [5, 13]).
+
+The baseline's optimal two-way join neutralizes heavy keys with a
+fragment-replicate cell grid.  We compare it against a skew-*oblivious*
+hash join (everything of one key on one server) on the single-heavy-key
+family, with an aggregating query (``Σ_C``), so the join phase — not the
+final OUT/p reduce — is the measured bottleneck: the naive join's load is
+pinned at ≈ 2N by the server owning the heavy key, while the grid join's
+falls with p.
+"""
+
+import pytest
+
+from repro.core.two_way_join import join_aggregate_naive, join_aggregate_pair
+from repro.data import DistRelation, Instance, Relation
+from repro.mpc import MPCCluster
+from repro.ram import evaluate
+from repro.semiring import COUNTING
+from repro.workloads import MATMUL_QUERY
+
+from harness import registry
+
+#: Σ_C: aggregate everything but A, so the result is tiny and the join
+#: phase dominates the measured load.
+KEEP = ("A",)
+
+
+def _single_heavy_instance(n):
+    r1 = Relation("R1", ("A", "B"), [((i, 0), 1) for i in range(n)])
+    r2 = Relation("R2", ("B", "C"), [((0, j), 1) for j in range(n)])
+    return Instance(MATMUL_QUERY, {"R1": r1, "R2": r2}, COUNTING)
+
+
+def _expected(instance):
+    full = evaluate(instance)  # keyed (A, C)
+    out = {}
+    for (a, _c), count in full.tuples.items():
+        out[(a,)] = out.get((a,), 0) + count
+    return out
+
+
+def _measure(instance, join_fn, p):
+    cluster = MPCCluster(p)
+    view = cluster.view()
+    result = join_fn(
+        DistRelation.load(view, instance.relation("R1")),
+        DistRelation.load(view, instance.relation("R2")),
+        KEEP,
+        COUNTING,
+    )
+    assert dict(result.data.collect()) == _expected(instance)
+    return cluster.report()
+
+
+@pytest.mark.parametrize("p", [4, 16, 64])
+def test_skew_ablation(benchmark, p):
+    table = registry.table(
+        "E13",
+        "Skew ablation — naive hash join vs fragment-replicate grid "
+        "(one heavy key, N=400/side, query Σ_C)",
+        ["p", "L(naive)", "L(grid)", "naive/grid"],
+    )
+    instance = _single_heavy_instance(400)
+
+    def run():
+        naive = _measure(instance, join_aggregate_naive, p)
+        grid = _measure(instance, join_aggregate_pair, p)
+        return naive, grid
+
+    naive, grid = benchmark.pedantic(run, rounds=1, iterations=1)
+    table.add(p, naive.max_load, grid.max_load,
+              naive.max_load / max(1, grid.max_load))
+    # The naive join funnels both relations through the heavy key's server.
+    assert naive.max_load >= 2 * 400 * 0.9
+    if p >= 16:
+        assert grid.max_load < naive.max_load / 1.5
+
+
+def test_grid_advantage_grows_with_p(benchmark):
+    def run():
+        ratios = []
+        instance = _single_heavy_instance(400)
+        for p in (4, 64):
+            naive = _measure(instance, join_aggregate_naive, p)
+            grid = _measure(instance, join_aggregate_pair, p)
+            ratios.append(naive.max_load / max(1, grid.max_load))
+        return ratios
+
+    ratios = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert ratios[-1] > ratios[0]

@@ -1,0 +1,63 @@
+"""E12 — ablation of the §3.1 heavy/light threshold L = √(N1N2/p).
+
+The worst-case algorithm's four-way decomposition hinges on one design
+choice: values with degree ≥ L are heavy.  We scale L by factors
+1/16 … 16 and measure the load on (a) a dense-B instance where all four
+subqueries are live and (b) a Zipf-skewed instance.  The claim under test:
+the paper's threshold (factor 1) sits within a small constant of the best
+over the sweep — too small a threshold over-replicates the heavy tasks,
+too large a one overloads the light-light grid.
+"""
+
+import pytest
+
+from repro.core.matmul_worst_case import matmul_worst_case
+from repro.data import DistRelation, Instance, Relation
+from repro.mpc import MPCCluster
+from repro.semiring import COUNTING
+from repro.workloads import MATMUL_QUERY, zipf_matmul
+
+from harness import registry
+
+P = 16
+FACTORS = [1 / 16, 1 / 4, 1.0, 4.0, 16.0]
+
+
+def _dense_instance(n=240):
+    r1 = Relation("R1", ("A", "B"), [((i, i % 4), 1) for i in range(n)])
+    r2 = Relation("R2", ("B", "C"), [((i % 4, i), 1) for i in range(n)])
+    return Instance(MATMUL_QUERY, {"R1": r1, "R2": r2}, COUNTING)
+
+
+def _loads(instance):
+    loads = {}
+    for factor in FACTORS:
+        cluster = MPCCluster(P)
+        view = cluster.view()
+        matmul_worst_case(
+            DistRelation.load(view, instance.relation("R1")),
+            DistRelation.load(view, instance.relation("R2")),
+            COUNTING,
+            load_factor=factor,
+        )
+        loads[factor] = cluster.report().max_load
+    return loads
+
+
+@pytest.mark.parametrize("family", ["dense-B", "zipf"])
+def test_threshold_ablation(benchmark, family):
+    table = registry.table(
+        "E12",
+        f"§3.1 threshold ablation: load vs L-scale (p={P})",
+        ["family", *[f"{f}×L" for f in FACTORS]],
+    )
+    instance = (
+        _dense_instance() if family == "dense-B" else zipf_matmul(240, 240, 24, seed=3)
+    )
+    loads = benchmark.pedantic(_loads, args=(instance,), rounds=1, iterations=1)
+    table.add(family, *[loads[f] for f in FACTORS])
+    best = min(loads.values())
+    assert loads[1.0] <= 2.5 * best
+    # The extremes must be measurably worse on the dense family.
+    if family == "dense-B":
+        assert max(loads[FACTORS[0]], loads[FACTORS[-1]]) > 1.5 * loads[1.0]

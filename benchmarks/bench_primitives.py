@@ -1,0 +1,129 @@
+"""E8/E9 — the §2.1 primitive toolbox and the §2.2 estimator.
+
+Every primitive must run in O(1) rounds with O(N/p) load — including under
+adversarial key skew — and the KMV OUT estimator must be a constant-factor
+approximation with linear load.
+"""
+
+import random
+
+import pytest
+
+from repro.data import DistRelation
+from repro.mpc import Distributed, MPCCluster
+from repro.primitives import (
+    distributed_sort,
+    estimate_path_out,
+    parallel_packing,
+    reduce_by_key,
+    remove_dangling,
+    semijoin,
+)
+from repro.ram import evaluate
+from repro.workloads import planted_out_matmul, zipf_matmul
+
+from harness import registry
+
+N = 4000
+P = 16
+
+
+def _uniform_items(seed=0):
+    rng = random.Random(seed)
+    return [(rng.randint(0, N), rng.randint(0, 9)) for _ in range(N)]
+
+
+def _skewed_items(seed=0):
+    rng = random.Random(seed)
+    return [(0 if rng.random() < 0.5 else rng.randint(0, N), 1) for _ in range(N)]
+
+
+@pytest.mark.parametrize("skew", ["uniform", "zipf-like"])
+def test_primitive_loads(benchmark, skew):
+    table = registry.table(
+        "E8",
+        f"Primitive loads, N={N}, p={P} (bound: O(N/p) per round, O(1) rounds)",
+        ["primitive", "skew", "max load", "rounds", "N/p"],
+    )
+    items = _uniform_items() if skew == "uniform" else _skewed_items()
+
+    def run():
+        rows = []
+        for name, op in (
+            ("sort", lambda v: distributed_sort(
+                Distributed.from_items(v, items), lambda x: x)),
+            ("reduce-by-key", lambda v: reduce_by_key(
+                Distributed.from_items(v, items),
+                lambda x: x[0], lambda x: x[1], lambda a, b: a + b)),
+            ("semijoin", lambda v: semijoin(
+                Distributed.from_items(v, items),
+                Distributed.from_items(v, items[: N // 4]),
+                lambda x: x[0])),
+            ("packing", lambda v: parallel_packing(
+                Distributed.from_items(v, [abs(x[1]) / 10 + 0.01 for x in items]),
+                lambda x: x)),
+        ):
+            cluster = MPCCluster(P)
+            op(cluster.view())
+            report = cluster.report()
+            rows.append((name, skew, report.max_load, report.rounds, N // P))
+            assert report.max_load <= 6 * N / P + 4 * P, name
+            assert report.rounds <= 8, name
+        return rows
+
+    for row in benchmark.pedantic(run, rounds=1, iterations=1):
+        table.add(*row)
+
+
+def test_dangling_removal_load(benchmark):
+    table = registry.table(
+        "E8b",
+        f"Dangling-tuple removal (matmul query, N={N}, p={P})",
+        ["family", "max load", "rounds"],
+    )
+
+    def run():
+        rows = []
+        for family, instance in (
+            ("planted", planted_out_matmul(n=N // 2, out=N)),
+            ("zipf", zipf_matmul(N // 2, N // 2, 50, seed=1)),
+        ):
+            cluster = MPCCluster(P)
+            view = cluster.view()
+            loaded = {
+                name: DistRelation.load(view, instance.relation(name))
+                for name, _ in instance.query.relations
+            }
+            remove_dangling(instance.query, loaded)
+            report = cluster.report()
+            rows.append((family, report.max_load, report.rounds))
+            assert report.max_load <= 8 * instance.total_size / P + 4 * P
+        return rows
+
+    for row in benchmark.pedantic(run, rounds=1, iterations=1):
+        table.add(*row)
+
+
+@pytest.mark.parametrize("out", [2000, 32000])
+def test_out_estimator_accuracy_and_load(benchmark, out):
+    table = registry.table(
+        "E9",
+        f"§2.2 KMV OUT estimator (planted matmul, N={N // 2}, p={P})",
+        ["OUT exact", "OUT est", "rel err", "max load"],
+    )
+    instance = planted_out_matmul(n=N // 2, out=out)
+    exact = len(evaluate(instance))
+
+    def run():
+        cluster = MPCCluster(P)
+        view = cluster.view()
+        r1 = DistRelation.load(view, instance.relation("R1"))
+        r2 = DistRelation.load(view, instance.relation("R2"))
+        total, _per_a = estimate_path_out([r1, r2], ["A", "B", "C"])
+        return total, cluster.report()
+
+    total, report = benchmark.pedantic(run, rounds=1, iterations=1)
+    error = abs(total - exact) / exact
+    table.add(exact, total, error, report.max_load)
+    assert error < 0.5  # constant-factor approximation
+    assert report.max_load <= 8 * instance.total_size / P + 4 * P

@@ -1,0 +1,20 @@
+"""Benchmark session wiring: print every experiment table at the end."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from harness import registry, write_results  # noqa: E402
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not registry.tables:
+        return
+    terminalreporter.ensure_newline()
+    terminalreporter.section("paper experiment tables (measured load, not wall-clock)")
+    for line in registry.render_all().splitlines():
+        terminalreporter.write_line(line)
+    results_path = os.path.join(os.path.dirname(__file__), "results.md")
+    write_results(results_path)
+    terminalreporter.write_line(f"\n[tables also written to {results_path}]")

@@ -1,0 +1,75 @@
+"""Benchmark harness: paper-style result tables.
+
+Benchmarks measure the paper's cost metric — the simulated cluster's *load*
+``L`` — not wall-clock time (wall-clock of a simulator is meaningless; the
+``pytest-benchmark`` timings are reported only as run-cost context).  Each
+experiment records rows into a global registry; a pytest hook prints every
+table at the end of the session and appends it to ``benchmarks/results.md``
+so EXPERIMENTS.md can cite the numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+__all__ = ["ExperimentTable", "registry", "format_table"]
+
+
+@dataclass
+class ExperimentTable:
+    """One experiment's result table (id, caption, header, rows)."""
+
+    experiment_id: str
+    caption: str
+    header: Sequence[str]
+    rows: List[Sequence[object]] = field(default_factory=list)
+
+    def add(self, *row: object) -> None:
+        self.rows.append(row)
+
+
+class _Registry:
+    def __init__(self) -> None:
+        self.tables: Dict[str, ExperimentTable] = {}
+
+    def table(self, experiment_id: str, caption: str, header: Sequence[str]) -> ExperimentTable:
+        if experiment_id not in self.tables:
+            self.tables[experiment_id] = ExperimentTable(experiment_id, caption, header)
+        return self.tables[experiment_id]
+
+    def render_all(self) -> str:
+        blocks = []
+        for experiment_id in sorted(self.tables):
+            blocks.append(format_table(self.tables[experiment_id]))
+        return "\n\n".join(blocks)
+
+
+registry = _Registry()
+
+
+def format_table(table: ExperimentTable) -> str:
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:,.2f}"
+        return str(value)
+
+    cells = [list(map(str, table.header))] + [
+        [fmt(v) for v in row] for row in table.rows
+    ]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(table.header))]
+    lines = [f"== {table.experiment_id}: {table.caption} =="]
+    for index, row in enumerate(cells):
+        lines.append("  ".join(cell.rjust(width) for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def write_results(path: str) -> None:
+    if not registry.tables:
+        return
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w") as handle:
+        handle.write(registry.render_all() + "\n")

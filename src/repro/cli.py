@@ -1,0 +1,163 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Two commands aimed at kicking the tires without writing code:
+
+* ``compare`` — generate an instance from one of the built-in workload
+  families, run the distributed Yannakakis baseline and the paper's
+  algorithm, and print both cost reports side by side;
+* ``sweep`` — the same across a sweep of the family's size knob, printing a
+  Table-1-style series.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from .core.executor import run_query
+from .data.query import Instance
+from .workloads import (
+    bowtie_line,
+    line_instance,
+    overlapping_star,
+    planted_out_matmul,
+    star_instance,
+    starlike_instance,
+    twig_instance,
+    zipf_matmul,
+)
+
+__all__ = ["main"]
+
+
+def _families() -> Dict[str, Callable[[argparse.Namespace], Instance]]:
+    return {
+        "matmul": lambda a: planted_out_matmul(n=a.tuples, out=a.out or 4 * a.tuples),
+        "matmul-zipf": lambda a: zipf_matmul(a.tuples, a.tuples, max(4, a.domain),
+                                             seed=a.seed),
+        "line": lambda a: line_instance(3, a.tuples, a.domain, seed=a.seed),
+        "line-bowtie": lambda a: bowtie_line(
+            blocks=max(1, a.tuples // 25), fan_out=25, fan_mid=a.domain
+        ),
+        "star": lambda a: star_instance(3, a.tuples, max(a.domain, a.tuples),
+                                        max(2, a.domain // 3), seed=a.seed),
+        "star-overlap": lambda a: overlapping_star(
+            arms=3, centres=a.domain, fan=max(2, a.tuples // a.domain)
+        ),
+        "starlike": lambda a: starlike_instance([1, 2, 2], a.tuples, a.domain,
+                                                seed=a.seed),
+        "twig": lambda a: twig_instance(a.tuples, a.domain, seed=a.seed),
+    }
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MPC join-aggregate algorithms (Hu & Yi, PODS 2020) — demo CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--family", choices=sorted(_families()), default="matmul")
+        p.add_argument("--tuples", type=int, default=400,
+                       help="tuples per relation (size knob)")
+        p.add_argument("--domain", type=int, default=20,
+                       help="domain width / family-specific knob")
+        p.add_argument("--out", type=int, default=None,
+                       help="target OUT (planted families)")
+        p.add_argument("--p", type=int, default=16, help="number of servers")
+        p.add_argument("--seed", type=int, default=0)
+
+    compare = sub.add_parser("compare", help="baseline vs paper algorithm, one instance")
+    add_common(compare)
+
+    sweep = sub.add_parser("sweep", help="sweep OUT (matmul family) and print the series")
+    add_common(sweep)
+    sweep.add_argument("--points", type=int, default=4)
+
+    table1 = sub.add_parser(
+        "table1", help="reproduce the paper's Table 1 (one row per query class)"
+    )
+    table1.add_argument("--p", type=int, default=16)
+    table1.add_argument("--scale", type=int, default=300,
+                        help="instance size knob (tuples per relation)")
+
+    return parser
+
+
+def _print_report(label: str, result) -> None:
+    report = result.report
+    print(f"{label:<34} load={report.max_load:<8} comm={report.total_communication:<9} "
+          f"rounds={report.rounds:<4} products={report.elementary_products}")
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    instance = _families()[args.family](args)
+    print(f"family={args.family}  N={instance.total_size}  p={args.p}  "
+          f"class={instance.query.classify()}")
+    baseline = run_query(instance, p=args.p, algorithm="yannakakis")
+    ours = run_query(instance, p=args.p, algorithm="auto")
+    if baseline.relation.tuples != ours.relation.tuples:
+        print("ERROR: algorithms disagree!", file=sys.stderr)
+        return 1
+    print(f"OUT={ours.out_size}")
+    _print_report("distributed Yannakakis (baseline)", baseline)
+    _print_report(f"paper algorithm ({ours.algorithm})", ours)
+    speedup = baseline.report.max_load / max(1, ours.report.max_load)
+    print(f"load speedup: {speedup:.2f}×")
+    return 0
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    if args.family != "matmul":
+        print("sweep currently supports --family matmul", file=sys.stderr)
+        return 2
+    n = args.tuples
+    print(f"{'OUT':>10} {'L(yann)':>10} {'L(ours)':>10} {'speedup':>8}")
+    out = n
+    for _ in range(args.points):
+        instance = planted_out_matmul(n=n, out=min(out, n * n))
+        baseline = run_query(instance, p=args.p, algorithm="yannakakis")
+        ours = run_query(instance, p=args.p, algorithm="auto")
+        speedup = baseline.report.max_load / max(1, ours.report.max_load)
+        print(f"{ours.out_size:>10} {baseline.report.max_load:>10} "
+              f"{ours.report.max_load:>10} {speedup:>8.2f}")
+        out *= 8
+    return 0
+
+
+def _command_table1(args: argparse.Namespace) -> int:
+    """One adversarial instance per Table-1 row, baseline vs new algorithm."""
+    from .reporting import table1_report
+
+    try:
+        rows = table1_report(scale=args.scale, p=args.p)
+    except AssertionError as error:
+        print(f"ERROR: {error}", file=sys.stderr)
+        return 1
+    print(f"Table 1 reproduction (p={args.p}, scale={args.scale}); "
+          f"loads are measured\n")
+    print(f"{'query':>8} {'N':>7} {'OUT':>9} {'L(yann)':>9} {'L(ours)':>9} {'speedup':>8}")
+    for row in rows:
+        print(
+            f"{row.label:>8} {row.input_size:>7} {row.out_size:>9} "
+            f"{row.baseline_load:>9} {row.new_load:>9} {row.speedup:>8.2f}"
+        )
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "compare":
+        return _command_compare(args)
+    if args.command == "sweep":
+        return _command_sweep(args)
+    if args.command == "table1":
+        return _command_table1(args)
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,53 @@
+"""Arm extraction for star-like queries (paper §6, Figure 1).
+
+A star-like query is a set of *arms* — line queries — glued at a common
+attribute.  Each arm is represented as the list of relations on the path
+from the centre outward: ``[(name, near_attr, far_attr), …]`` where the
+first entry's ``near_attr`` is the centre and the last entry's ``far_attr``
+is the arm's end (an output attribute).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..data.query import TreeQuery
+
+__all__ = ["Arm", "ArmStep", "extract_arms"]
+
+ArmStep = Tuple[str, str, str]  # (relation name, near attribute, far attribute)
+Arm = List[ArmStep]
+
+
+def extract_arms(query: TreeQuery, centre: str) -> List[Arm]:
+    """Decompose ``query`` into arms hanging at ``centre``.
+
+    Requires every relation to lie on a simple path from ``centre`` to a
+    leaf (true for star-like queries and for the hanging components ``T_B``
+    of §7).  Arms are returned sorted by their end attribute.
+    """
+    arms: List[Arm] = []
+    for rel_index, first_attr in query.adjacency[centre]:
+        arm: Arm = []
+        name, attrs = query.relations[rel_index]
+        near, far = centre, first_attr
+        arm.append((name, near, far))
+        previous_rel = rel_index
+        current = far
+        while True:
+            onward = [
+                (i, b) for i, b in query.adjacency[current] if i != previous_rel
+            ]
+            if not onward:
+                break
+            if len(onward) > 1:
+                raise ValueError(
+                    f"attribute {current!r} branches: query is not star-like at "
+                    f"{centre!r}"
+                )
+            next_rel, next_attr = onward[0]
+            arm.append((query.relations[next_rel][0], current, next_attr))
+            previous_rel = next_rel
+            current = next_attr
+        arms.append(arm)
+    return sorted(arms, key=lambda arm: arm[-1][2])

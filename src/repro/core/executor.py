@@ -1,0 +1,159 @@
+"""Top-level query executor: classify, dispatch, meter (paper §1.5/Table 1).
+
+``run_query`` is the library's front door: it loads an :class:`Instance`
+onto a simulated cluster, picks the paper's algorithm for the query's class
+(or the requested one), and returns the result together with the measured
+:class:`~repro.mpc.stats.CostReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Literal, Optional
+
+from ..data.query import Instance, QueryClass
+from ..data.relation import DistRelation, Relation
+from ..mpc.cluster import ClusterView, MPCCluster
+from ..mpc.stats import CostReport
+from ..semiring import Semiring
+from .line import line_query
+from .star import star_query
+from .starlike import starlike_query
+from .tree import tree_query
+from .two_way_join import aggregate_relation
+from .yannakakis_mpc import yannakakis_mpc_distributed
+
+__all__ = ["run_query", "QueryResult", "Algorithm"]
+
+Algorithm = Literal["auto", "yannakakis", "matmul", "line", "star", "star-like", "tree"]
+
+
+@dataclass
+class QueryResult:
+    """Result of one distributed query execution."""
+
+    #: The answer, schema = output attributes in sorted order.
+    relation: Relation
+    #: Measured cluster costs (the paper's load L, rounds, communication…).
+    report: CostReport
+    #: Query class detected by :meth:`TreeQuery.classify`.
+    query_class: QueryClass
+    #: Which algorithm actually ran.
+    algorithm: str
+
+    @property
+    def out_size(self) -> int:
+        return len(self.relation)
+
+
+def run_query(
+    instance: Instance,
+    p: int = 8,
+    cluster: Optional[MPCCluster] = None,
+    algorithm: Algorithm = "auto",
+    validate: bool = False,
+) -> QueryResult:
+    """Evaluate ``instance`` on a (fresh or supplied) simulated MPC cluster.
+
+    ``algorithm="auto"`` picks the paper's new algorithm for the query's
+    class — the second column of Table 1 — while ``"yannakakis"`` forces the
+    baseline (first column).  Explicit class names force that algorithm and
+    raise if the query does not have the required shape.
+
+    ``validate=True`` cross-checks the distributed answer against the
+    sequential oracle (annotations included) and raises ``AssertionError``
+    on any mismatch — a debugging aid for custom semirings and workloads;
+    the oracle runs outside the cluster, so metering is unaffected.
+    """
+    if cluster is None:
+        cluster = MPCCluster(p)
+    view = cluster.view()
+    query = instance.query
+    semiring = instance.semiring
+    query_class = query.classify()
+
+    chosen = algorithm
+    if algorithm == "auto":
+        chosen = {
+            "free-connex": "yannakakis",
+            "matmul": "line",
+            "line": "line",
+            "star": "star",
+            "star-like": "star-like",
+            "twig": "tree",
+            "tree": "tree",
+        }[query_class]
+
+    distributed = _dispatch(chosen, instance, view)
+    out_schema = tuple(sorted(query.output))
+    if distributed.schema != out_schema:
+        distributed = aggregate_relation(distributed, out_schema, semiring)
+    relation = distributed.collect("result", semiring)
+    if validate:
+        from ..ram.evaluate import evaluate
+
+        expected = evaluate(instance)
+        if relation.tuples != expected.tuples:
+            raise AssertionError(
+                f"distributed result disagrees with the oracle: "
+                f"{len(relation)} vs {len(expected)} tuples"
+            )
+    return QueryResult(
+        relation=relation,
+        report=cluster.report(),
+        query_class=query_class,
+        algorithm=chosen,
+    )
+
+
+def _dispatch(chosen: str, instance: Instance, view: ClusterView) -> DistRelation:
+    query = instance.query
+    semiring = instance.semiring
+    loaded: Dict[str, DistRelation] = {
+        name: DistRelation.load(view, instance.relation(name))
+        for name, _ in query.relations
+    }
+
+    if chosen == "yannakakis":
+        return yannakakis_mpc_distributed(instance, view)
+
+    if chosen in ("matmul", "line"):
+        order = query.path_order()
+        if order is None or not (query.is_line() or query.is_matmul()):
+            raise ValueError(f"query is not a line query: {query.classify()}")
+        rels = [
+            loaded[_rel_between(query, order[i], order[i + 1])]
+            for i in range(len(order) - 1)
+        ]
+        return line_query(rels, order, semiring)
+
+    if chosen == "star":
+        if not query.is_star():
+            raise ValueError(f"query is not a star query: {query.classify()}")
+        centre = next(
+            a for a in query.attributes
+            if all(a in attrs for _n, attrs in query.relations)
+        )
+        arm_attrs = []
+        rels = []
+        for name, attrs in query.relations:
+            arm_attrs.append(attrs[0] if attrs[1] == centre else attrs[1])
+            rels.append(loaded[name])
+        return star_query(rels, arm_attrs, centre, semiring)
+
+    if chosen == "star-like":
+        if not query.is_star_like():
+            raise ValueError(f"query is not star-like: {query.classify()}")
+        return starlike_query(query, loaded, semiring)
+
+    if chosen == "tree":
+        return tree_query(query, loaded, semiring)
+
+    raise ValueError(f"unknown algorithm {chosen!r}")
+
+
+def _rel_between(query, left: str, right: str) -> str:
+    for name, attrs in query.relations:
+        if set(attrs) == {left, right}:
+            return name
+    raise KeyError((left, right))

@@ -1,0 +1,220 @@
+"""Star queries (paper §5).
+
+``∑_B R1(A1,B) ⋈ … ⋈ Rn(An,B)`` with load
+``O( (N·OUT/p)^{2/3} + N·OUT^{1/2}/p + (N+OUT)/p )`` (Theorem 5),
+*oblivious* to OUT:
+
+1. compute per-value degree profiles ``(d_1(b), …, d_n(b))`` and bucket
+   ``dom(B)`` by the permutation ``φ_b`` that sorts the profile — at most
+   ``n!`` buckets (a constant);
+2. for each bucket, join the odd-position relations into ``R_φ(A_odd, B)``
+   and the even-position ones into ``R_φ(A_even, B)``; Lemmas 5–6 bound both
+   by ``N·√OUT``;
+3. reduce to one matrix multiplication per bucket (output-sensitive, §3.2);
+4. ⊕-combine the bucket results (they may share output keys).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Tuple
+
+from ..data.query import TreeQuery
+from ..data.relation import DistRelation
+from ..mpc.distributed import Distributed
+from ..primitives.dangling import remove_dangling
+from ..primitives.degrees import attach_by_key, degree_table, lookup_table
+from ..primitives.reduce_by_key import reduce_by_key
+from ..semiring import Semiring
+from .matmul import sparse_matmul
+from .two_way_join import aggregate_relation, join_aggregate_pair
+
+__all__ = ["star_query", "join_group_on_centre", "binarize", "unpack_pairs"]
+
+
+def star_query(
+    relations: Sequence[DistRelation],
+    arm_attrs: Sequence[str],
+    centre: str,
+    semiring: Semiring,
+    salt: int = 0,
+) -> DistRelation:
+    """Evaluate the star query; result schema is ``tuple(arm_attrs)``.
+
+    ``relations[i]`` must contain attributes ``{arm_attrs[i], centre}``.
+    """
+    n = len(relations)
+    if n != len(arm_attrs) or n < 2:
+        raise ValueError("star query needs ≥ 2 relations, one arm attribute each")
+    relations = [_orient(rel, arm_attrs[i], centre) for i, rel in enumerate(relations)]
+
+    # Dangling-tuple removal: b must appear in every relation.
+    names = [f"__S{i}" for i in range(n)]
+    query = TreeQuery(
+        tuple((names[i], (arm_attrs[i], centre)) for i in range(n)),
+        frozenset(arm_attrs),
+    )
+    reduced = remove_dangling(query, dict(zip(names, relations)))
+    relations = [reduced[name] for name in names]
+
+    if n == 2:
+        return sparse_matmul(
+            relations[0], relations[1], semiring, reduce_dangling=False, salt=salt
+        )
+
+    # ---- Step 1: degree profiles and permutation buckets. -------------------
+    profile_parts: List[Distributed] = []
+    for i, rel in enumerate(relations):
+        table = degree_table(rel.data, rel.key_fn((centre,)), salt + i)
+        profile_parts.append(
+            table.map_items(lambda pair, i=i: (pair[0][0], ((i, pair[1]),)))
+        )
+    merged = profile_parts[0]
+    for extra in profile_parts[1:]:
+        merged = merged.concat(extra)
+    profiles = reduce_by_key(
+        merged, lambda pair: pair[0], lambda pair: pair[1], lambda a, b: a + b,
+        salt + 100,
+    )
+
+    def permutation_of(profile: Tuple[Tuple[int, int], ...]) -> Tuple[int, ...]:
+        degrees = dict(profile)
+        return tuple(sorted(range(n), key=lambda i: (degrees.get(i, 0), i)))
+
+    class_table = profiles.map_items(
+        lambda pair: (pair[0], permutation_of(pair[1]))
+    )
+    observed = set(
+        lookup_table(
+            reduce_by_key(
+                class_table, lambda pair: pair[1], lambda _p: None, lambda a, _b: a,
+                salt + 101,
+            )
+        )
+    )
+
+    # Tag every tuple with its b-bucket once per relation.
+    tagged = [
+        attach_by_key(
+            rel.data,
+            class_table,
+            lambda item, idx=rel.attr_index(centre): item[0][idx],
+            default=None,
+            salt=salt + 102 + i,
+        )
+        for i, rel in enumerate(relations)
+    ]
+
+    outputs: List[Distributed] = []
+    for class_index, perm in enumerate(sorted(observed)):
+        bucket_rels = [
+            DistRelation(
+                relations[i].schema,
+                tagged[i]
+                .filter_items(lambda entry, perm=perm: entry[1] == perm)
+                .map_items(lambda entry: entry[0]),
+            )
+            for i in range(n)
+        ]
+        if any(rel.total_size == 0 for rel in bucket_rels):
+            continue
+        odd_positions = [perm[k] for k in range(0, n, 2)]  # positions 1,3,… (1-based)
+        even_positions = [perm[k] for k in range(1, n, 2)]
+        odd_rel, odd_attrs = join_group_on_centre(
+            [bucket_rels[i] for i in odd_positions],
+            [arm_attrs[i] for i in odd_positions],
+            centre, semiring, salt + 200 + 10 * class_index,
+        )
+        even_rel, even_attrs = join_group_on_centre(
+            [bucket_rels[i] for i in even_positions],
+            [arm_attrs[i] for i in even_positions],
+            centre, semiring, salt + 205 + 10 * class_index,
+        )
+        left = binarize(odd_rel, odd_attrs, "__odd", centre)
+        right = binarize(even_rel, even_attrs, "__even", centre)
+        product = sparse_matmul(
+            left, right, semiring, reduce_dangling=False,
+            salt=salt + 300 + 10 * class_index,
+        )
+        outputs.append(
+            unpack_pairs(product, odd_attrs, even_attrs, tuple(arm_attrs))
+        )
+
+    view = relations[0].view
+    union = Distributed.empty(view)
+    for output in outputs:
+        union = union.concat(output)
+    result = DistRelation(tuple(arm_attrs), union)
+    return aggregate_relation(result, tuple(arm_attrs), semiring, salt + 400)
+
+
+def join_group_on_centre(
+    relations: Sequence[DistRelation],
+    attrs: Sequence[str],
+    centre: str,
+    semiring: Semiring,
+    salt: int,
+) -> Tuple[DistRelation, Tuple[str, ...]]:
+    """Full join ``⋈_i R_i(A_i, B)`` on the shared centre.
+
+    Returns the joined relation (schema ``(*attrs, centre)``) and the arm
+    attribute order.  Uses the skew-resilient pairwise join.
+    """
+    accumulated = relations[0]
+    acc_attrs: Tuple[str, ...] = (attrs[0],)
+    for offset, rel in enumerate(relations[1:]):
+        keep = acc_attrs + (attrs[offset + 1], centre)
+        accumulated = join_aggregate_pair(
+            accumulated, rel, keep, semiring, salt=salt + offset
+        )
+        acc_attrs = acc_attrs + (attrs[offset + 1],)
+    return accumulated, acc_attrs
+
+
+def binarize(
+    relation: DistRelation,
+    arm_attrs: Sequence[str],
+    combined_name: str,
+    centre: str,
+) -> DistRelation:
+    """Fold the arm columns into one combined column: schema
+    ``(combined_name, centre)``; values become tuples (local op)."""
+    arm_indices = [relation.attr_index(a) for a in arm_attrs]
+    centre_index = relation.attr_index(centre)
+    data = relation.data.map_items(
+        lambda item: (
+            (tuple(item[0][i] for i in arm_indices), item[0][centre_index]),
+            item[1],
+        )
+    )
+    return DistRelation((combined_name, centre), data)
+
+
+def unpack_pairs(
+    product: DistRelation,
+    left_attrs: Sequence[str],
+    right_attrs: Sequence[str],
+    out_order: Tuple[str, ...],
+) -> Distributed:
+    """Expand a (combined-left, combined-right) matmul result into flat keys
+    ordered by ``out_order`` (local op)."""
+    positions: Dict[str, Tuple[int, int]] = {}
+    for i, attr in enumerate(left_attrs):
+        positions[attr] = (0, i)
+    for i, attr in enumerate(right_attrs):
+        positions[attr] = (1, i)
+    plan = [positions[attr] for attr in out_order]
+    return product.data.map_items(
+        lambda item: (tuple(item[0][side][index] for side, index in plan), item[1])
+    )
+
+
+def _orient(rel: DistRelation, arm: str, centre: str) -> DistRelation:
+    if rel.schema == (arm, centre):
+        return rel
+    if set(rel.schema) != {arm, centre}:
+        raise ValueError(f"relation schema {rel.schema!r} is not ({arm}, {centre})")
+    ai, ci = rel.attr_index(arm), rel.attr_index(centre)
+    return DistRelation(
+        (arm, centre),
+        rel.data.map_items(lambda item: ((item[0][ai], item[0][ci]), item[1])),
+    )

@@ -1,0 +1,307 @@
+"""Skew-resilient two-way join + aggregation (paper §1.4, [5, 13]).
+
+``join_aggregate_pair`` computes ``Σ_{−keep} (R ⋈ S)`` on shared attributes
+with the optimal-style load ``O((N1+N2)/p + J/p)`` where ``J = |R ⋈ S|``:
+
+1. per-join-key degrees on both sides (reduce-by-key);
+2. every key ``b`` gets an ``r_b × c_b`` grid of virtual cells with
+   ``r_b = ⌈d_R(b)/λ⌉`` and ``c_b = ⌈d_S(b)/λ⌉`` for a chunk size ``λ``
+   balancing replication against per-cell size; R-tuples pick a random row
+   and replicate across the row's cells, S-tuples a random column — the
+   classic fragment-replicate scheme that neutralizes skew;
+3. cells hash onto servers; each server joins its cells locally and
+   pre-aggregates by the ``keep`` attributes;
+4. a final reduce-by-key ⊕-combines partials (this is the step that costs
+   ``J/p`` when the aggregate keys do not collapse locally — exactly the
+   baseline bottleneck the paper's algorithms avoid through locality).
+
+The same routine with ``keep = all attributes`` is a plain full join.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+from ..data.relation import DistRelation
+from ..mpc.distributed import Distributed
+from ..mpc.hashing import hash_to_bucket, stable_hash
+from ..primitives.degrees import attach_by_key, degree_table
+from ..primitives.reduce_by_key import reduce_by_key
+from ..semiring import Semiring
+
+__all__ = [
+    "join_aggregate_pair",
+    "join_aggregate_naive",
+    "aggregate_relation",
+    "local_join_aggregate",
+]
+
+
+def join_aggregate_pair(
+    left: DistRelation,
+    right: DistRelation,
+    keep: Sequence[str],
+    semiring: Semiring,
+    salt: int = 0,
+) -> DistRelation:
+    """``Σ_{−keep} (left ⋈ right)`` as a new :class:`DistRelation` on the
+    same view, hash-partitioned by the keep-key."""
+    view = left.view
+    p = view.p
+    shared = tuple(sorted(set(left.schema) & set(right.schema)))
+    if not shared:
+        raise ValueError("join_aggregate_pair requires a shared attribute")
+    keep = tuple(keep)
+    left_key = left.key_fn(shared)
+    right_key = right.key_fn(shared)
+
+    left_degrees = degree_table(left.data, left_key, salt)
+    right_degrees = degree_table(right.data, right_key, salt)
+    left_tagged = attach_by_key(left.data, left_degrees, left_key, default=0, salt=salt)
+    right_tagged = attach_by_key(right.data, right_degrees, right_key, default=0, salt=salt)
+
+    # Grid dimensions of a key's cell grid depend on *both* sides' degrees;
+    # attach the partner side's degree as well.
+    left_full = attach_by_key(
+        left_tagged, right_degrees, lambda pair: left_key(pair[0]), default=0, salt=salt
+    )
+    right_full = attach_by_key(
+        right_tagged, left_degrees, lambda pair: right_key(pair[0]), default=0, salt=salt
+    )
+
+    # Each key gets cells in proportion to its share of the join size
+    # J = Σ_b d_L(b)·d_R(b) (gathered as one scalar on the control channel),
+    # the allocation that yields the optimal O(N/p + √(J/p)) join-phase load.
+    join_size = _estimate_join_size(view, left_full, right_full)
+
+    def grid_of(left_degree: int, right_degree: int) -> Tuple[int, int]:
+        if left_degree == 0 or right_degree == 0:
+            return 1, 1
+        cells = min(
+            p, max(1, math.ceil(left_degree * right_degree * p / max(1, join_size)))
+        )
+        rows = min(
+            cells,
+            max(1, round(math.sqrt(cells * left_degree / max(1, right_degree)))),
+        )
+        cols = math.ceil(cells / rows)
+        return rows, cols
+
+    # Every (left-copy, right-copy) pair meets in exactly one cell
+    # (row(left), col(right)); copies are tagged with their cell id and the
+    # local join is restricted to same-cell pairs, so each elementary product
+    # is computed exactly once even when two cells hash to one server.
+    def left_cells_of(entry: Tuple[Tuple[Any, int], int]) -> List[Tuple]:
+        (item, own_degree), partner_degree = entry
+        key = left_key(item)
+        rows, cols = grid_of(own_degree, partner_degree)
+        row = stable_hash(("row", key, item[0]), salt) % rows
+        return [("L", (key, row, col, cols), item) for col in range(cols)]
+
+    def right_cells_of(entry: Tuple[Tuple[Any, int], int]) -> List[Tuple]:
+        (item, own_degree), partner_degree = entry
+        key = right_key(item)
+        rows, cols = grid_of(partner_degree, own_degree)
+        col = stable_hash(("col", key, item[0]), salt) % cols
+        return [("R", (key, row, col, cols), item) for row in range(rows)]
+
+    left_msgs = left_full.map_parts(
+        lambda part: [msg for entry in part for msg in left_cells_of(entry)]
+    )
+    right_msgs = right_full.map_parts(
+        lambda part: [msg for entry in part for msg in right_cells_of(entry)]
+    )
+
+    def cell_server(msg: Tuple) -> int:
+        # A key's cells occupy *consecutive* servers (row-major) from a
+        # hashed offset, so one heavy key's ≤ p cells never collide with
+        # each other (birthday-free, unlike independent hashing).
+        key, row, col, cols = msg[1]
+        offset = hash_to_bucket(key, p, salt + 7)
+        return (offset + row * cols + col) % p
+
+    routed = left_msgs.concat(right_msgs).repartition(cell_server)
+
+    keep_sources = _keep_sources(left.schema, right.schema, keep)
+    tracker = view.tracker
+
+    def local_join(part: List[Any]) -> List[Any]:
+        lefts: Dict[Tuple, List[Tuple]] = {}
+        rights: Dict[Tuple, List[Tuple]] = {}
+        for tag, cell, item in part:
+            (lefts if tag == "L" else rights).setdefault(cell, []).append(item)
+        partials: Dict[Tuple, Any] = {}
+        products = 0
+        for cell, left_rows in lefts.items():
+            right_rows = rights.get(cell)
+            if not right_rows:
+                continue
+            for l_values, l_weight in left_rows:
+                for r_values, r_weight in right_rows:
+                    products += 1
+                    out_key = tuple(
+                        l_values[i] if side == "L" else r_values[i]
+                        for side, i in keep_sources
+                    )
+                    weight = semiring.mul(l_weight, r_weight)
+                    if out_key in partials:
+                        partials[out_key] = semiring.add(partials[out_key], weight)
+                    else:
+                        partials[out_key] = weight
+        tracker.record_products(products)
+        return list(partials.items())
+
+    partials = routed.map_parts(local_join)
+    reduced = reduce_by_key(
+        partials,
+        lambda pair: pair[0],
+        lambda pair: pair[1],
+        semiring.add,
+        salt=salt + 13,
+    )
+    return DistRelation(keep, reduced)
+
+
+def _estimate_join_size(view, left_full: Distributed, right_full: Distributed) -> int:
+    """J = Σ over tuples of the *partner* degree ≡ Σ_b d_L(b)·d_R(b).
+
+    Computed locally from the degree-tagged tuples (each left tuple of key b
+    contributes d_R(b)), summed over the control channel.
+    """
+    local = [
+        sum(entry[1] for entry in part) for part in left_full.parts
+    ]
+    view.control_gather(local)
+    return max(1, sum(local))
+
+
+def _keep_sources(
+    left_schema: Sequence[str], right_schema: Sequence[str], keep: Sequence[str]
+) -> List[Tuple[str, int]]:
+    """For every keep attribute, where to read it: ('L'/'R', column index)."""
+    sources: List[Tuple[str, int]] = []
+    for attribute in keep:
+        if attribute in left_schema:
+            sources.append(("L", left_schema.index(attribute)))
+        elif attribute in right_schema:
+            sources.append(("R", right_schema.index(attribute)))
+        else:
+            raise ValueError(f"keep attribute {attribute!r} in neither schema")
+    return sources
+
+
+def aggregate_relation(
+    relation: DistRelation,
+    group_attrs: Sequence[str],
+    semiring: Semiring,
+    salt: int = 0,
+) -> DistRelation:
+    """``Σ_{−group_attrs} relation`` via reduce-by-key (paper §2.1)."""
+    key = relation.key_fn(tuple(group_attrs))
+    reduced = reduce_by_key(
+        relation.data,
+        lambda item: key(item),
+        lambda item: item[1],
+        semiring.add,
+        salt=salt,
+    )
+    return DistRelation(tuple(group_attrs), reduced)
+
+
+def local_join_aggregate(
+    left_items: Sequence[Tuple[Tuple, Any]],
+    right_items: Sequence[Tuple[Tuple, Any]],
+    left_key: Callable[[Tuple[Tuple, Any]], Tuple],
+    right_key: Callable[[Tuple[Tuple, Any]], Tuple],
+    out_key: Callable[[Tuple, Tuple], Tuple],
+    semiring: Semiring,
+) -> Tuple[Dict[Tuple, Any], int]:
+    """Join two local tuple lists on their keys, ⊕-aggregating by ``out_key``.
+
+    Returns ``(partials, elementary_product_count)``; used by every algorithm
+    that arranges tuples so products can be aggregated in place (the paper's
+    "locality").
+    """
+    index: Dict[Tuple, List[Tuple[Tuple, Any]]] = {}
+    for item in left_items:
+        index.setdefault(left_key(item), []).append(item)
+    partials: Dict[Tuple, Any] = {}
+    products = 0
+    for item in right_items:
+        matches = index.get(right_key(item))
+        if not matches:
+            continue
+        r_values, r_weight = item
+        for l_values, l_weight in matches:
+            products += 1
+            key = out_key(l_values, r_values)
+            weight = semiring.mul(l_weight, r_weight)
+            if key in partials:
+                partials[key] = semiring.add(partials[key], weight)
+            else:
+                partials[key] = weight
+    return partials, products
+
+
+def join_aggregate_naive(
+    left: DistRelation,
+    right: DistRelation,
+    keep: Sequence[str],
+    semiring: Semiring,
+    salt: int = 0,
+) -> DistRelation:
+    """Skew-*oblivious* hash join (ablation baseline, §1.4 context).
+
+    Both sides are hash-partitioned by the join key with no degree
+    statistics: a heavy key lands entirely on one server, whose load then
+    scales with that key's join size instead of J/p.  Correct but fragile —
+    kept to let benchmarks quantify what the fragment-replicate scheme of
+    :func:`join_aggregate_pair` buys.
+    """
+    from ..mpc.hashing import hash_to_bucket
+
+    view = left.view
+    p = view.p
+    shared = tuple(sorted(set(left.schema) & set(right.schema)))
+    if not shared:
+        raise ValueError("join_aggregate_naive requires a shared attribute")
+    keep = tuple(keep)
+    left_key = left.key_fn(shared)
+    right_key = right.key_fn(shared)
+    keep_sources = _keep_sources(left.schema, right.schema, keep)
+    tracker = view.tracker
+
+    # Both sides co-partition in ONE shuffle round (the textbook plan),
+    # so the heavy key's server receives d_L(b) + d_R(b) in a single round.
+    tagged = left.data.map_items(lambda item: ("L", item)).concat(
+        right.data.map_items(lambda item: ("R", item))
+    )
+    routed = tagged.repartition(
+        lambda msg: hash_to_bucket(
+            left_key(msg[1]) if msg[0] == "L" else right_key(msg[1]), p, salt
+        )
+    )
+
+    def local_join(part: List[Any]) -> List[Any]:
+        left_items = [item for tag, item in part if tag == "L"]
+        right_items = [item for tag, item in part if tag == "R"]
+        partials, products = local_join_aggregate(
+            left_items,
+            right_items,
+            left_key,
+            right_key,
+            lambda lv, rv: tuple(
+                lv[i] if side == "L" else rv[i] for side, i in keep_sources
+            ),
+            semiring,
+        )
+        tracker.record_products(products)
+        return list(partials.items())
+
+    partials = routed.map_parts(local_join)
+    reduced = reduce_by_key(
+        partials, lambda pair: pair[0], lambda pair: pair[1], semiring.add,
+        salt=salt + 13,
+    )
+    return DistRelation(keep, reduced)

@@ -1,0 +1,29 @@
+"""Annotated relations, tree queries, and structural query operations."""
+
+from .hypergraph import Hypergraph, attribute_degrees, is_alpha_acyclic, tree_adjacency
+from .query import Instance, TreeQuery
+from .relation import AnnotatedTuple, DistRelation, Relation
+from .treeops import (
+    ReductionStep,
+    SkeletonInfo,
+    reduction_plan,
+    skeleton_info,
+    twig_decomposition,
+)
+
+__all__ = [
+    "Relation",
+    "DistRelation",
+    "AnnotatedTuple",
+    "TreeQuery",
+    "Instance",
+    "Hypergraph",
+    "is_alpha_acyclic",
+    "tree_adjacency",
+    "attribute_degrees",
+    "ReductionStep",
+    "reduction_plan",
+    "twig_decomposition",
+    "SkeletonInfo",
+    "skeleton_info",
+]

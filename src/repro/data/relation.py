@@ -1,0 +1,165 @@
+"""Annotated relations (paper §1.1).
+
+A relation ``R_e`` over attributes ``e`` is a set of tuples, each carrying an
+annotation from a commutative semiring.  :class:`Relation` is the sequential
+(logical) form used by generators, the RAM oracle, and as the result type;
+:class:`DistRelation` couples a schema with a
+:class:`~repro.mpc.distributed.Distributed` of ``(values, annotation)`` pairs
+living on a cluster view.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..mpc.cluster import ClusterView
+from ..mpc.distributed import Distributed
+from ..semiring import Semiring
+
+__all__ = ["Relation", "DistRelation", "AnnotatedTuple"]
+
+#: The wire format of one annotated tuple: (attribute values, annotation).
+AnnotatedTuple = Tuple[Tuple[Any, ...], Any]
+
+
+class Relation:
+    """A named, schema'd set of annotated tuples.
+
+    Tuples are keyed by their attribute values; inserting a duplicate key
+    ⊕-combines annotations when a semiring is supplied (and raises otherwise),
+    so a :class:`Relation` is always a *set* with aggregated annotations.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        schema: Sequence[str],
+        tuples: Optional[Iterable[AnnotatedTuple]] = None,
+        semiring: Optional[Semiring] = None,
+    ) -> None:
+        if len(set(schema)) != len(schema):
+            raise ValueError(f"duplicate attribute in schema {schema!r}")
+        self.name = name
+        self.schema: Tuple[str, ...] = tuple(schema)
+        self.tuples: Dict[Tuple[Any, ...], Any] = {}
+        for values, annotation in tuples or ():
+            self.add(values, annotation, semiring)
+
+    # -- mutation ---------------------------------------------------------------
+
+    def add(
+        self,
+        values: Sequence[Any],
+        annotation: Any,
+        semiring: Optional[Semiring] = None,
+    ) -> None:
+        """Insert a tuple; duplicates ⊕-combine when a semiring is given."""
+        key = tuple(values)
+        if len(key) != len(self.schema):
+            raise ValueError(
+                f"tuple arity {len(key)} does not match schema {self.schema!r}"
+            )
+        if key in self.tuples:
+            if semiring is None:
+                raise ValueError(f"duplicate tuple {key!r} without a semiring to combine")
+            self.tuples[key] = semiring.add(self.tuples[key], annotation)
+        else:
+            self.tuples[key] = annotation
+
+    # -- inspection ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def __iter__(self) -> Iterable[AnnotatedTuple]:
+        return iter(self.tuples.items())
+
+    def __contains__(self, values: Sequence[Any]) -> bool:
+        return tuple(values) in self.tuples
+
+    def annotation(self, values: Sequence[Any]) -> Any:
+        """The annotation of one tuple (KeyError when absent)."""
+        return self.tuples[tuple(values)]
+
+    def attr_index(self, attribute: str) -> int:
+        """Position of ``attribute`` in the schema (KeyError when absent)."""
+        try:
+            return self.schema.index(attribute)
+        except ValueError:
+            raise KeyError(f"{attribute!r} not in schema {self.schema!r}") from None
+
+    def column(self, attribute: str) -> List[Any]:
+        """All values (with multiplicity) of one attribute."""
+        index = self.attr_index(attribute)
+        return [values[index] for values in self.tuples]
+
+    def active_domain(self, attribute: str) -> set:
+        """Distinct values of ``attribute`` occurring in the relation."""
+        index = self.attr_index(attribute)
+        return {values[index] for values in self.tuples}
+
+    def degree(self, attribute: str, value: Any) -> int:
+        """|σ_{attribute=value} R| — the paper's degree statistic (§2.1)."""
+        index = self.attr_index(attribute)
+        return sum(1 for values in self.tuples if values[index] == value)
+
+    def project_keys(self, attributes: Sequence[str]) -> set:
+        """Distinct value combinations of ``attributes`` (set projection)."""
+        indices = [self.attr_index(a) for a in attributes]
+        return {tuple(values[i] for i in indices) for values in self.tuples}
+
+    # -- equality (semantic: same schema, tuples, annotations) --------------------
+
+    def same_contents(self, other: "Relation") -> bool:
+        """Same schema, tuples, and annotations (names may differ)."""
+        return self.schema == other.schema and self.tuples == other.tuples
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Relation({self.name}{self.schema}, {len(self)} tuples)"
+
+
+class DistRelation:
+    """A relation distributed over a cluster view."""
+
+    def __init__(self, schema: Sequence[str], data: Distributed) -> None:
+        self.schema: Tuple[str, ...] = tuple(schema)
+        self.data = data
+
+    @classmethod
+    def load(cls, view: ClusterView, relation: Relation) -> "DistRelation":
+        """Round-0 placement of a logical relation (free, per the model)."""
+        return cls(relation.schema, Distributed.from_items(view, list(relation)))
+
+    @property
+    def view(self) -> ClusterView:
+        return self.data.view
+
+    @property
+    def total_size(self) -> int:
+        return self.data.total_size
+
+    def attr_index(self, attribute: str) -> int:
+        """Position of ``attribute`` in the schema (KeyError when absent)."""
+        try:
+            return self.schema.index(attribute)
+        except ValueError:
+            raise KeyError(f"{attribute!r} not in schema {self.schema!r}") from None
+
+    def key_fn(self, attributes: Sequence[str]) -> Callable[[AnnotatedTuple], Tuple]:
+        """A function extracting the sub-tuple of ``attributes`` from an item."""
+        indices = tuple(self.attr_index(a) for a in attributes)
+        if len(indices) == 1:
+            index = indices[0]
+            return lambda item: (item[0][index],)
+        return lambda item: tuple(item[0][i] for i in indices)
+
+    def with_data(self, data: Distributed) -> "DistRelation":
+        """Same schema over a different distributed payload."""
+        return DistRelation(self.schema, data)
+
+    def collect(self, name: str, semiring: Semiring) -> Relation:
+        """Materialize as a logical relation (inspection / test oracle path)."""
+        return Relation(name, self.schema, self.data.collect(), semiring=semiring)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DistRelation({self.schema}, {self.total_size} tuples)"

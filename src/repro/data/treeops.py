@@ -1,0 +1,291 @@
+"""Structural operations on tree queries for the general algorithm (paper §7).
+
+Three purely structural transformations, applied before any data moves:
+
+1. **Reduction** (§7 preprocessing): repeatedly absorb a relation that has a
+   non-output attribute appearing in no other relation (a non-output leaf);
+   its annotations are ⊕-aggregated over that attribute and ⊗-folded into a
+   neighbouring relation.  Afterwards *every leaf attribute is output*.
+
+2. **Twig decomposition** (§7, Figure 2): cut the reduced tree at every
+   non-leaf output attribute.  Each twig is a subquery whose output
+   attributes are exactly its leaves; the final answer is the (free-connex)
+   join of the twig results along the cut attributes.
+
+3. **Skeleton** (§7.1, Figure 3): for a twig that is not star-like, let
+   ``V*`` be the attributes in ≥ 3 relations and ``T_{V*}`` the subtree
+   spanning them.  Each leaf ``B`` of ``T_{V*}`` roots a star-like component
+   ``T_B`` (its arms end at output attributes ``V_B ∩ y``); the skeleton is
+   the twig with each ``T_B`` contracted into ``B``.  ``S`` denotes the
+   skeleton's leaves: the contracted ``B``'s (non-output) plus output leaves
+   whose arms hang off internal skeleton vertices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from .query import TreeQuery
+
+__all__ = [
+    "ReductionStep",
+    "reduction_plan",
+    "twig_decomposition",
+    "SkeletonInfo",
+    "skeleton_info",
+]
+
+
+@dataclass(frozen=True)
+class ReductionStep:
+    """Absorb ``relation`` into ``target``: ⊕-aggregate out ``aggregated_attr``
+    and ⊗-fold the per-``shared_attr`` totals into ``target``'s annotations."""
+
+    relation: str
+    aggregated_attr: str
+    shared_attr: str
+    target: str
+
+
+def reduction_plan(query: TreeQuery) -> Tuple[List[ReductionStep], TreeQuery]:
+    """The §7 preprocessing as a list of absorption steps plus the residual query.
+
+    A relation ``e = (v, u)`` is absorbable when ``v`` is a non-output leaf.
+    The absorption aggregates ``R_e`` over ``v`` and multiplies the result
+    into any other relation containing ``u``.  Iterates to fixpoint.  If the
+    whole query collapses to a single relation it is returned as-is (the
+    caller finishes it with one local aggregation).
+    """
+    relations = list(query.relations)
+    output = set(query.output)
+    steps: List[ReductionStep] = []
+
+    changed = True
+    while changed and len(relations) > 1:
+        changed = False
+        degrees: Dict[str, int] = {}
+        for _, attrs in relations:
+            for attribute in attrs:
+                degrees[attribute] = degrees.get(attribute, 0) + 1
+        for index, (name, attrs) in enumerate(relations):
+            non_output_leaves = [
+                a for a in attrs if a not in output and degrees[a] == 1
+            ]
+            if not non_output_leaves:
+                continue
+            aggregated = non_output_leaves[0]
+            shared = attrs[0] if attrs[1] == aggregated else attrs[1]
+            target = next(
+                (other_name for other_name, other_attrs in relations
+                 if other_name != name and shared in other_attrs),
+                None,
+            )
+            if target is None:
+                continue
+            steps.append(ReductionStep(name, aggregated, shared, target))
+            relations.pop(index)
+            changed = True
+            break
+
+    reduced = TreeQuery(tuple(relations), frozenset(output & _attrs_of(relations)))
+    return steps, reduced
+
+
+def _attrs_of(relations: Sequence[Tuple[str, Tuple[str, str]]]) -> Set[str]:
+    out: Set[str] = set()
+    for _, attrs in relations:
+        out.update(attrs)
+    return out
+
+
+def twig_decomposition(query: TreeQuery) -> List[TreeQuery]:
+    """Split a reduced query at every non-leaf output attribute (Figure 2).
+
+    Returns the twigs in an order in which consecutive reassembly works:
+    each twig (after the first) shares at least one cut attribute with the
+    union of the previous ones.  Every returned twig satisfies
+    ``twig.output == twig.leaves``.
+    """
+    cut_attrs = {
+        a for a in query.output if query.degrees.get(a, 0) >= 2
+    }
+    # Union-find over relations: same twig iff connected without crossing a cut.
+    parent = list(range(query.n))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    def union(i: int, j: int) -> None:
+        parent[find(i)] = find(j)
+
+    for attribute, incident in query.adjacency.items():
+        if attribute in cut_attrs:
+            continue
+        first = incident[0][0]
+        for rel_index, _ in incident[1:]:
+            union(first, rel_index)
+
+    groups: Dict[int, List[int]] = {}
+    for index in range(query.n):
+        groups.setdefault(find(index), []).append(index)
+
+    twigs: List[TreeQuery] = []
+    for members in groups.values():
+        relations = tuple(query.relations[i] for i in members)
+        attrs = _attrs_of(relations)
+        twig_output = frozenset(a for a in attrs if a in query.output or a in cut_attrs)
+        twigs.append(TreeQuery(relations, twig_output))
+
+    # Order twigs so each one shares an attribute with the prefix union.
+    ordered: List[TreeQuery] = []
+    remaining = list(twigs)
+    seen_attrs: Set[str] = set()
+    while remaining:
+        if not ordered:
+            ordered.append(remaining.pop(0))
+            seen_attrs |= set(ordered[-1].attributes)
+            continue
+        for i, twig in enumerate(remaining):
+            if set(twig.attributes) & seen_attrs:
+                ordered.append(remaining.pop(i))
+                seen_attrs |= set(ordered[-1].attributes)
+                break
+        else:  # disconnected (cannot happen for a tree)
+            ordered.append(remaining.pop(0))
+            seen_attrs |= set(ordered[-1].attributes)
+    return ordered
+
+
+@dataclass
+class SkeletonInfo:
+    """Decomposition of a non-star-like twig (Figure 3).
+
+    Attributes
+    ----------
+    v_star:
+        Attributes appearing in ≥ 3 relations.
+    tv_star:
+        Vertices of the subtree spanned by ``v_star``.
+    branch_roots:
+        The leaves ``B`` of ``T_{V*}`` — the non-output skeleton leaves
+        ``S ∩ ȳ`` whose hanging components get contracted.
+    branches:
+        ``B`` → the star-like component ``T_B`` as a :class:`TreeQuery` whose
+        output is ``{B-side arm ends}``; its attribute set is ``V_B``.
+    residual_relations:
+        The twig's relations *not* inside any ``T_B`` (the skeleton's edges).
+    """
+
+    v_star: FrozenSet[str]
+    tv_star: FrozenSet[str]
+    branch_roots: Tuple[str, ...]
+    branches: Dict[str, TreeQuery]
+    residual_relations: Tuple[Tuple[str, Tuple[str, str]], ...]
+
+
+def skeleton_info(twig: TreeQuery) -> SkeletonInfo:
+    """Compute the skeleton decomposition of a twig (must not be star-like)."""
+    if twig.is_star_like():
+        raise ValueError("skeleton decomposition applies to non-star-like twigs")
+    v_star = frozenset(a for a, d in twig.degrees.items() if d >= 3)
+    if len(v_star) < 2:
+        raise ValueError("a non-star-like twig must have ≥ 2 high-degree attributes")
+
+    # T_{V*}: vertices on a path between two members of v_star.
+    tv_star = _spanning_subtree(twig, v_star)
+
+    # Leaves of T_{V*}: members of v_star with exactly one tv_star neighbour.
+    branch_roots: List[str] = []
+    for attribute in sorted(v_star):
+        neighbours_in = [
+            b for _, b in twig.adjacency[attribute] if b in tv_star
+        ]
+        if len(neighbours_in) == 1:
+            branch_roots.append(attribute)
+
+    branches: Dict[str, TreeQuery] = {}
+    branch_relations: Set[str] = set()
+    for root in branch_roots:
+        component = _hanging_component(twig, root, tv_star)
+        relations = tuple(
+            entry for entry in twig.relations if entry[0] in component
+        )
+        attrs = _attrs_of(relations)
+        outputs = frozenset(a for a in attrs if a in twig.output)
+        branches[root] = TreeQuery(relations, outputs)
+        branch_relations |= component
+
+    residual = tuple(
+        entry for entry in twig.relations if entry[0] not in branch_relations
+    )
+    return SkeletonInfo(
+        v_star=v_star,
+        tv_star=frozenset(tv_star),
+        branch_roots=tuple(branch_roots),
+        branches=branches,
+        residual_relations=residual,
+    )
+
+
+def _spanning_subtree(query: TreeQuery, targets: FrozenSet[str]) -> Set[str]:
+    """Vertices on paths between members of ``targets`` in the attribute tree."""
+    root = next(iter(sorted(targets)))
+    # DFS from root; keep a vertex if its subtree contains a target, and the
+    # vertex lies between root and that target.
+    keep: Set[str] = set()
+
+    def dfs(attribute: str, parent: str | None) -> bool:
+        found = attribute in targets
+        for _, neighbour in query.adjacency[attribute]:
+            if neighbour == parent:
+                continue
+            if dfs(neighbour, attribute):
+                keep.add(neighbour)
+                found = True
+        return found
+
+    dfs(root, None)
+    keep.add(root)
+    # Prune dangling non-target vertices from the root side: the spanned
+    # subtree is the minimal connected set containing all targets.
+    changed = True
+    while changed:
+        changed = False
+        for attribute in list(keep):
+            if attribute in targets:
+                continue
+            inside = [b for _, b in query.adjacency[attribute] if b in keep]
+            if len(inside) <= 1:
+                keep.discard(attribute)
+                changed = True
+    return keep
+
+
+def _hanging_component(
+    query: TreeQuery, root: str, tv_star: Set[str] | FrozenSet[str]
+) -> Set[str]:
+    """Names of relations in the component hanging at ``root`` away from
+    ``T_{V*}`` (the relations of the star-like query ``T_root``)."""
+    component: Set[str] = set()
+    stack: List[Tuple[str, str | None]] = [(root, None)]
+    visited_attrs = {root}
+    while stack:
+        attribute, via = stack.pop()
+        for rel_index, neighbour in query.adjacency[attribute]:
+            name = query.relations[rel_index][0]
+            if name == via:
+                continue
+            # Do not cross back into the spanned subtree from the root.
+            if attribute == root and neighbour in tv_star:
+                continue
+            if name in component:
+                continue
+            component.add(name)
+            if neighbour not in visited_attrs:
+                visited_attrs.add(neighbour)
+                stack.append((neighbour, name))
+    return component

@@ -1,0 +1,159 @@
+"""Loading and saving relations and instances.
+
+Plain-text formats so instances can come from anywhere:
+
+* **TSV** — one tuple per line, attribute columns then an annotation
+  column; values are kept as strings unless a ``parse`` hook converts them
+  (``int``/``float`` are built in);
+* **JSON** — a whole :class:`~repro.data.query.Instance` (query shape,
+  output attributes, relations, named semiring) in one document, the
+  interchange format used to pin down benchmark inputs.
+
+Only the standard semirings can be named in JSON (annotations must be JSON
+values); arbitrary semirings still work through the TSV path with a custom
+``parse_annotation``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, IO, Iterable, List, Optional, Sequence, Tuple, Union
+
+from .data.query import Instance, TreeQuery
+from .data.relation import Relation
+from .semiring import STANDARD_SEMIRINGS, Semiring
+
+__all__ = [
+    "write_relation_tsv",
+    "read_relation_tsv",
+    "instance_to_json",
+    "instance_from_json",
+]
+
+_SEMIRINGS_BY_NAME: Dict[str, Semiring] = {s.name: s for s in STANDARD_SEMIRINGS}
+
+
+def write_relation_tsv(relation: Relation, target: Union[str, IO[str]]) -> None:
+    """Write ``relation`` as TSV: a header row of attribute names plus
+    ``__annotation``, then one row per tuple."""
+
+    def dump(handle: IO[str]) -> None:
+        handle.write("\t".join([*relation.schema, "__annotation"]) + "\n")
+        for values, annotation in relation:
+            row = [str(value) for value in values] + [str(annotation)]
+            handle.write("\t".join(row) + "\n")
+
+    if isinstance(target, str):
+        with open(target, "w") as handle:
+            dump(handle)
+    else:
+        dump(target)
+
+
+def read_relation_tsv(
+    source: Union[str, IO[str]],
+    name: str = "R",
+    parse_value: Callable[[str], Any] = None,
+    parse_annotation: Callable[[str], Any] = None,
+    semiring: Optional[Semiring] = None,
+) -> Relation:
+    """Read a TSV written by :func:`write_relation_tsv` (or hand-made).
+
+    ``parse_value``/``parse_annotation`` convert the string cells; the
+    defaults try ``int`` then ``float`` then keep the string.  Duplicate
+    tuples are ⊕-combined when a semiring is supplied.
+    """
+    parse_value = parse_value or _auto_parse
+    parse_annotation = parse_annotation or _auto_parse
+
+    def load(handle: IO[str]) -> Relation:
+        header = handle.readline().rstrip("\n").split("\t")
+        if not header or header[-1] != "__annotation":
+            raise ValueError("TSV must end with an __annotation column")
+        schema = tuple(header[:-1])
+        relation = Relation(name, schema)
+        for line_number, line in enumerate(handle, start=2):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            cells = line.split("\t")
+            if len(cells) != len(header):
+                raise ValueError(f"line {line_number}: expected {len(header)} cells")
+            values = tuple(parse_value(cell) for cell in cells[:-1])
+            relation.add(values, parse_annotation(cells[-1]), semiring)
+        return relation
+
+    if isinstance(source, str):
+        with open(source) as handle:
+            return load(handle)
+    return load(source)
+
+
+def _auto_parse(cell: str) -> Any:
+    for converter in (int, float):
+        try:
+            return converter(cell)
+        except ValueError:
+            continue
+    return cell
+
+
+def instance_to_json(instance: Instance) -> str:
+    """Serialize an instance (query + data + semiring name) to JSON.
+
+    Annotations and attribute values must be JSON-serializable; tuples in
+    values are stored as lists and restored as tuples.
+    """
+    if instance.semiring.name not in _SEMIRINGS_BY_NAME:
+        raise ValueError(
+            f"only standard semirings can be serialized, not "
+            f"{instance.semiring.name!r}"
+        )
+    document = {
+        "semiring": instance.semiring.name,
+        "output": sorted(instance.query.output),
+        "relations": [
+            {
+                "name": name,
+                "schema": list(attrs),
+                "tuples": [
+                    [_jsonify(v) for v in values] + [_jsonify(w)]
+                    for values, w in instance.relation(name)
+                ],
+            }
+            for name, attrs in instance.query.relations
+        ],
+    }
+    return json.dumps(document)
+
+
+def instance_from_json(document: Union[str, dict]) -> Instance:
+    """Inverse of :func:`instance_to_json`."""
+    data = json.loads(document) if isinstance(document, str) else document
+    semiring = _SEMIRINGS_BY_NAME.get(data["semiring"])
+    if semiring is None:
+        raise ValueError(f"unknown semiring {data['semiring']!r}")
+    specs: List[Tuple[str, Tuple[str, str]]] = []
+    relations: Dict[str, Relation] = {}
+    for entry in data["relations"]:
+        schema = tuple(entry["schema"])
+        specs.append((entry["name"], schema))
+        relation = Relation(entry["name"], schema)
+        for row in entry["tuples"]:
+            values = tuple(_unjsonify(v) for v in row[:-1])
+            relation.add(values, _unjsonify(row[-1]), semiring)
+        relations[entry["name"]] = relation
+    query = TreeQuery(tuple(specs), frozenset(data["output"]))
+    return Instance(query, relations, semiring)
+
+
+def _jsonify(value: Any) -> Any:
+    if isinstance(value, tuple):
+        return {"__tuple__": [_jsonify(v) for v in value]}
+    return value
+
+
+def _unjsonify(value: Any) -> Any:
+    if isinstance(value, dict) and "__tuple__" in value:
+        return tuple(_unjsonify(v) for v in value["__tuple__"])
+    return value

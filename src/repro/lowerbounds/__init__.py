@@ -1,0 +1,5 @@
+"""Hard instances realizing the paper's §3.3 lower bounds."""
+
+from .instances import MATMUL_QUERY, HardInstance, theorem2_instance, theorem3_instance
+
+__all__ = ["theorem2_instance", "theorem3_instance", "HardInstance", "MATMUL_QUERY"]

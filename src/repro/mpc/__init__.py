@@ -1,0 +1,22 @@
+"""Simulated Massively Parallel Computation substrate (paper §1.3)."""
+
+from .cluster import ClusterView, MPCCluster
+from .distributed import Distributed, transfer
+from .errors import AllocationError, MPCError, RoutingError
+from .hashing import hash_to_bucket, hash_to_unit, stable_hash
+from .stats import CostReport, LoadTracker
+
+__all__ = [
+    "MPCCluster",
+    "ClusterView",
+    "Distributed",
+    "transfer",
+    "LoadTracker",
+    "CostReport",
+    "MPCError",
+    "RoutingError",
+    "AllocationError",
+    "stable_hash",
+    "hash_to_unit",
+    "hash_to_bucket",
+]

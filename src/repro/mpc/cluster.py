@@ -1,0 +1,219 @@
+"""Simulated MPC cluster (paper §1.3).
+
+``MPCCluster`` hosts ``p`` logical servers.  Algorithms act through a
+:class:`ClusterView` — an ordered subset of servers with a round cursor —
+so that the paper's "allocate ``p_i`` servers to subquery ``i``" steps map
+directly onto code (``view.run_parallel``).  All data movement goes through
+:meth:`ClusterView.exchange`, which physically delivers items and charges the
+:class:`~repro.mpc.stats.LoadTracker` at the receiving servers, making the
+measured load the paper's ``L`` by construction.
+
+Round semantics: each view carries a cursor; ``exchange`` consumes one round.
+``run_parallel`` executes branch tasks on disjoint sub-views starting at the
+same base round and advances the parent cursor by the *maximum* branch depth,
+which is exactly what a real synchronous cluster running the branches side by
+side would do.  When the requested server counts exceed ``p``, branches are
+packed into sequential waves (a real cluster would do the same); the paper's
+allocation lemmas guarantee O(1) waves for its algorithms.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+
+from .errors import AllocationError, RoutingError
+from .stats import CostReport, LoadTracker
+
+__all__ = ["MPCCluster", "ClusterView"]
+
+
+class MPCCluster:
+    """A simulated cluster of ``p`` interconnected servers."""
+
+    def __init__(self, p: int, seed: int = 0) -> None:
+        if p < 1:
+            raise ValueError("cluster needs at least one server")
+        self.p = p
+        self.seed = seed
+        self.tracker = LoadTracker()
+
+    def view(self) -> "ClusterView":
+        """The root view over all ``p`` servers, cursor at the current round."""
+        return ClusterView(self, tuple(range(self.p)), self.tracker.rounds)
+
+    def report(self) -> CostReport:
+        """Snapshot of the cluster's cost meters."""
+        return self.tracker.report()
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"MPCCluster(p={self.p})"
+
+
+class ClusterView:
+    """An ordered subset of cluster servers with a round cursor.
+
+    Local server indices ``0..p-1`` map to global ids ``self.servers``.
+    """
+
+    def __init__(self, cluster: MPCCluster, servers: Tuple[int, ...], round_index: int) -> None:
+        if not servers:
+            raise AllocationError("a view needs at least one server")
+        self.cluster = cluster
+        self.servers = servers
+        self.round = round_index
+
+    # -- basic properties ------------------------------------------------------
+
+    @property
+    def p(self) -> int:
+        return len(self.servers)
+
+    @property
+    def tracker(self) -> LoadTracker:
+        return self.cluster.tracker
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"ClusterView(p={self.p}, round={self.round})"
+
+    # -- communication ---------------------------------------------------------
+
+    def exchange(self, outboxes: Sequence[Iterable[Tuple[int, Any]]]) -> List[List[Any]]:
+        """One communication round within this view.
+
+        ``outboxes[i]`` holds ``(dest_local_index, item)`` messages emitted by
+        local server ``i``.  Returns the per-server inboxes.  Charges every
+        delivery to the receiving server at the current round, then advances
+        the cursor.
+        """
+        if len(outboxes) != self.p:
+            raise RoutingError(f"expected {self.p} outboxes, got {len(outboxes)}")
+        inboxes: List[List[Any]] = [[] for _ in range(self.p)]
+        tracker = self.tracker
+        round_index = self.round
+        for outbox in outboxes:
+            for dest, item in outbox:
+                if not 0 <= dest < self.p:
+                    raise RoutingError(f"destination {dest} outside view of size {self.p}")
+                inboxes[dest].append(item)
+        for local_index, inbox in enumerate(inboxes):
+            tracker.record_receive(round_index, self.servers[local_index], len(inbox))
+        tracker.note_round(round_index)
+        self.round = round_index + 1
+        return inboxes
+
+    def route(
+        self,
+        parts: Sequence[Sequence[Any]],
+        dest_fn: Callable[[Any], int],
+    ) -> List[List[Any]]:
+        """Reshuffle: send every item to ``dest_fn(item)`` (a local index)."""
+        outboxes = [[(dest_fn(item), item) for item in part] for part in parts]
+        return self.exchange(outboxes)
+
+    def route_multi(
+        self,
+        parts: Sequence[Sequence[Any]],
+        dests_fn: Callable[[Any], Iterable[int]],
+    ) -> List[List[Any]]:
+        """Replicating reshuffle: send each item to every index in ``dests_fn(item)``."""
+        outboxes = [
+            [(dest, item) for item in part for dest in dests_fn(item)] for part in parts
+        ]
+        return self.exchange(outboxes)
+
+    def broadcast(self, parts: Sequence[Sequence[Any]]) -> List[Any]:
+        """Send every item to *all* servers in the view; returns the common list.
+
+        One round; each server's incoming load is the total item count, which
+        is how the paper charges a broadcast.
+        """
+        everything = [item for part in parts for item in part]
+        round_index = self.round
+        for server in self.servers:
+            self.tracker.record_receive(round_index, server, len(everything))
+        self.tracker.note_round(round_index)
+        self.round = round_index + 1
+        return everything
+
+    def gather(self, parts: Sequence[Sequence[Any]], dest: int = 0) -> List[Any]:
+        """Bring all items to one server (charged there); one round."""
+        inboxes = self.route(parts, lambda item: dest)
+        return inboxes[dest]
+
+    # -- coordinator/control channel --------------------------------------------
+
+    def control_gather(self, values: Sequence[Any]) -> List[Any]:
+        """Gather one scalar per server on the control channel (O(p) traffic)."""
+        self.tracker.record_control(len(values))
+        return list(values)
+
+    def control_scatter(self, count: int = 1) -> None:
+        """Charge scattering ``count`` scalars to every server."""
+        self.tracker.record_control(count * self.p)
+
+    # -- sub-allocation ----------------------------------------------------------
+
+    def subview(self, local_indices: Sequence[int]) -> "ClusterView":
+        """A view over the given local indices, sharing tracker and cursor."""
+        servers = tuple(self.servers[i] for i in local_indices)
+        return ClusterView(self.cluster, servers, self.round)
+
+    def split(self, groups: int) -> List["ClusterView"]:
+        """Partition the view into ``groups`` disjoint contiguous sub-views.
+
+        When ``groups > p`` the tail groups are merged into the available
+        servers (each sub-view has ≥ 1 server, at most ``p`` sub-views).
+        """
+        groups = max(1, min(groups, self.p))
+        bounds = [round(i * self.p / groups) for i in range(groups + 1)]
+        return [self.subview(range(bounds[i], bounds[i + 1])) for i in range(groups)]
+
+    def run_parallel(
+        self,
+        tasks: Sequence[Callable[["ClusterView"], Any]],
+        sizes: Optional[Sequence[int]] = None,
+    ) -> List[Any]:
+        """Run ``tasks`` on disjoint sub-views "in parallel".
+
+        ``sizes[i]`` is the requested server count of task ``i`` (default 1).
+        Tasks are first-fit packed into waves of total size ≤ p; each wave's
+        branches start at the same base round, and the cursor advances by the
+        deepest branch.  Results are returned in task order.
+        """
+        if not tasks:
+            return []
+        if sizes is None:
+            sizes = [1] * len(tasks)
+        if len(sizes) != len(tasks):
+            raise AllocationError("sizes must match tasks")
+        clamped = [max(1, min(int(math.ceil(s)), self.p)) for s in sizes]
+
+        results: List[Any] = [None] * len(tasks)
+        pending = list(range(len(tasks)))
+        while pending:
+            wave: List[int] = []
+            used = 0
+            remaining: List[int] = []
+            for task_index in pending:
+                if used + clamped[task_index] <= self.p:
+                    wave.append(task_index)
+                    used += clamped[task_index]
+                else:
+                    remaining.append(task_index)
+            if not wave:  # single task larger than p (cannot happen: clamped ≤ p)
+                raise AllocationError("could not schedule task wave")
+            pending = remaining
+
+            base_round = self.round
+            deepest = base_round
+            offset = 0
+            for task_index in wave:
+                width = clamped[task_index]
+                branch = self.subview(range(offset, offset + width))
+                branch.round = base_round
+                results[task_index] = tasks[task_index](branch)
+                deepest = max(deepest, branch.round)
+                offset += width
+            self.round = deepest
+        return results

@@ -1,0 +1,151 @@
+"""Distributed datasets over a :class:`~repro.mpc.cluster.ClusterView`.
+
+A :class:`Distributed` is simply "one list of items per server of the view".
+Every repartitioning physically moves items via the view's ``exchange`` and
+is therefore metered.  Initial input placement (the model's round-0 state,
+``N/p`` tuples per server) is free, matching §1.3.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Sequence, TypeVar
+
+from .cluster import ClusterView
+from .errors import RoutingError
+
+__all__ = ["Distributed", "transfer"]
+
+T = TypeVar("T")
+
+
+class Distributed:
+    """Items spread across the servers of one view."""
+
+    def __init__(self, view: ClusterView, parts: Sequence[List[Any]]) -> None:
+        if len(parts) != view.p:
+            raise RoutingError(f"expected {view.p} parts, got {len(parts)}")
+        self.view = view
+        self.parts: List[List[Any]] = [list(part) for part in parts]
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_items(cls, view: ClusterView, items: Iterable[Any]) -> "Distributed":
+        """Place ``items`` contiguously, ⌈n/p⌉ per server (free: round-0 input)."""
+        data = list(items)
+        p = view.p
+        size = len(data)
+        chunk = (size + p - 1) // p if size else 0
+        parts = [data[i * chunk : (i + 1) * chunk] for i in range(p)]
+        return cls(view, parts)
+
+    @classmethod
+    def empty(cls, view: ClusterView) -> "Distributed":
+        return cls(view, [[] for _ in range(view.p)])
+
+    # -- inspection --------------------------------------------------------------
+
+    @property
+    def total_size(self) -> int:
+        return sum(len(part) for part in self.parts)
+
+    def part_sizes(self) -> List[int]:
+        """Per-server item counts."""
+        return [len(part) for part in self.parts]
+
+    def items(self) -> Iterable[Any]:
+        """Iterate all items (simulation-side inspection, not a cluster op)."""
+        for part in self.parts:
+            yield from part
+
+    def collect(self) -> List[Any]:
+        """All items as one list (simulation-side inspection)."""
+        return [item for part in self.parts for item in part]
+
+    # -- local (communication-free) transformations -------------------------------
+
+    def map_parts(self, fn: Callable[[List[Any]], List[Any]]) -> "Distributed":
+        """Apply a per-server local transformation; no communication."""
+        return Distributed(self.view, [fn(part) for part in self.parts])
+
+    def map_items(self, fn: Callable[[Any], Any]) -> "Distributed":
+        """Apply ``fn`` to every item in place (no communication)."""
+        return self.map_parts(lambda part: [fn(item) for item in part])
+
+    def filter_items(self, predicate: Callable[[Any], bool]) -> "Distributed":
+        """Keep the items satisfying ``predicate`` (no communication)."""
+        return self.map_parts(lambda part: [item for item in part if predicate(item)])
+
+    def concat(self, other: "Distributed") -> "Distributed":
+        """Union of two datasets living on the same view; no communication."""
+        if other.view is not self.view and other.view.servers != self.view.servers:
+            raise RoutingError("concat requires datasets on the same view")
+        return Distributed(
+            self.view, [a + b for a, b in zip(self.parts, other.parts)]
+        )
+
+    # -- communication -------------------------------------------------------------
+
+    def repartition(self, dest_fn: Callable[[Any], int]) -> "Distributed":
+        """Send each item to local server ``dest_fn(item)``; one round."""
+        inboxes = self.view.route(self.parts, dest_fn)
+        return Distributed(self.view, inboxes)
+
+    def repartition_multi(self, dests_fn: Callable[[Any], Iterable[int]]) -> "Distributed":
+        """Replicate each item to all servers in ``dests_fn(item)``; one round."""
+        inboxes = self.view.route_multi(self.parts, dests_fn)
+        return Distributed(self.view, inboxes)
+
+    def broadcast(self) -> List[Any]:
+        """Materialize all items on every server; returns the shared list."""
+        return self.view.broadcast(self.parts)
+
+    def gather(self, dest: int = 0) -> List[Any]:
+        """Ship every item to one server (metered there); one round."""
+        return self.view.gather(self.parts, dest)
+
+    def rebalance(self) -> "Distributed":
+        """Spread items evenly (contiguous re-chunking); one round."""
+        total = self.total_size
+        p = self.view.p
+        chunk = (total + p - 1) // p if total else 1
+        counter = 0
+        outboxes: List[List] = []
+        for part in self.parts:
+            outbox = []
+            for item in part:
+                outbox.append((min(counter // chunk, p - 1), item))
+                counter += 1
+            outboxes.append(outbox)
+        inboxes = self.view.exchange(outboxes)
+        return Distributed(self.view, inboxes)
+
+
+def transfer(
+    source: Distributed,
+    dest_view: ClusterView,
+    dest_fn: Callable[[Any], int],
+) -> Distributed:
+    """Move a dataset from its view onto ``dest_view`` (possibly different
+    servers of the same cluster); one round, charged at the receivers.
+
+    The two views' cursors are synchronized to ``max(src, dst) + 1``, which is
+    what a globally synchronous cluster would observe.
+    """
+    if source.view.cluster is not dest_view.cluster:
+        raise RoutingError("transfer requires views of the same cluster")
+    round_index = max(source.view.round, dest_view.round)
+    tracker = dest_view.tracker
+    inboxes: List[List[Any]] = [[] for _ in range(dest_view.p)]
+    for part in source.parts:
+        for item in part:
+            dest = dest_fn(item)
+            if not 0 <= dest < dest_view.p:
+                raise RoutingError(f"destination {dest} outside view of size {dest_view.p}")
+            inboxes[dest].append(item)
+    for local_index, inbox in enumerate(inboxes):
+        tracker.record_receive(round_index, dest_view.servers[local_index], len(inbox))
+    tracker.note_round(round_index)
+    source.view.round = round_index + 1
+    dest_view.round = round_index + 1
+    return Distributed(dest_view, inboxes)

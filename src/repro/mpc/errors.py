@@ -1,0 +1,15 @@
+"""Exceptions raised by the MPC simulator."""
+
+__all__ = ["MPCError", "RoutingError", "AllocationError"]
+
+
+class MPCError(RuntimeError):
+    """Base class for simulator failures."""
+
+
+class RoutingError(MPCError):
+    """A message was addressed to a server outside the executing view."""
+
+
+class AllocationError(MPCError):
+    """A server-allocation request could not be satisfied."""

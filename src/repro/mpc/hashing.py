@@ -1,0 +1,69 @@
+"""Deterministic keyed hashing for partitioning and sketches.
+
+Python's builtin ``hash`` is randomized per process (PYTHONHASHSEED), which
+would make simulated runs non-reproducible.  All MPC partitioning and all KMV
+sketches therefore use a keyed blake2b over a canonical byte encoding.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Any
+
+__all__ = ["stable_hash", "hash_to_unit", "hash_to_bucket"]
+
+_MASK64 = (1 << 64) - 1
+
+
+def _encode(value: Any) -> bytes:
+    """Canonical byte encoding of values used as keys (ints, floats, strings,
+    bytes, bools, None, and nested tuples thereof)."""
+    if isinstance(value, bool):
+        return b"b" + (b"\x01" if value else b"\x00")
+    if isinstance(value, int):
+        return b"i" + value.to_bytes((value.bit_length() + 8) // 8 + 1, "big", signed=True)
+    if isinstance(value, float):
+        return b"f" + struct.pack(">d", value)
+    if isinstance(value, str):
+        return b"s" + value.encode("utf-8")
+    if isinstance(value, bytes):
+        return b"y" + value
+    if value is None:
+        return b"n"
+    if isinstance(value, tuple):
+        parts = [b"t", len(value).to_bytes(4, "big")]
+        for element in value:
+            encoded = _encode(element)
+            parts.append(len(encoded).to_bytes(4, "big"))
+            parts.append(encoded)
+        return b"".join(parts)
+    if isinstance(value, frozenset):
+        encoded_elements = sorted(_encode(element) for element in value)
+        parts = [b"F", len(encoded_elements).to_bytes(4, "big")]
+        for encoded in encoded_elements:
+            parts.append(len(encoded).to_bytes(4, "big"))
+            parts.append(encoded)
+        return b"".join(parts)
+    raise TypeError(f"unhashable key type for stable_hash: {type(value)!r}")
+
+
+def stable_hash(value: Any, salt: int = 0) -> int:
+    """A 64-bit deterministic hash of ``value`` under a ``salt`` (hash-function
+    index).  Different salts behave as independent hash functions."""
+    digest = hashlib.blake2b(
+        _encode(value), digest_size=8, key=salt.to_bytes(8, "big")
+    ).digest()
+    return int.from_bytes(digest, "big") & _MASK64
+
+
+def hash_to_unit(value: Any, salt: int = 0) -> float:
+    """Hash ``value`` to a float uniform in [0, 1)."""
+    return stable_hash(value, salt) / float(1 << 64)
+
+
+def hash_to_bucket(value: Any, buckets: int, salt: int = 0) -> int:
+    """Hash ``value`` to a bucket index in ``[0, buckets)``."""
+    if buckets <= 0:
+        raise ValueError("buckets must be positive")
+    return stable_hash(value, salt) % buckets

@@ -1,0 +1,71 @@
+"""Distributed dangling-tuple removal (paper §2.1, [14, 25]).
+
+For an acyclic join, tuples that cannot participate in any full join result
+are removed by a bottom-up and a top-down pass of semijoins along the
+query's join tree.  O(1) rounds (2 × number of relations, constant for a
+fixed query), O(N/p) load.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..data.hypergraph import join_tree_edges
+from ..data.query import TreeQuery
+from ..data.relation import DistRelation
+from .semijoin import semijoin
+
+__all__ = ["remove_dangling", "elimination_order"]
+
+
+def elimination_order(query: TreeQuery) -> List[Tuple[str, str]]:
+    """A leaf-elimination order of the query's join tree.
+
+    Returns ``(leaf, host)`` relation-name pairs: ``leaf`` is a current leaf
+    of the join tree (see :func:`repro.data.hypergraph.join_tree_edges`) and
+    ``host`` its unique remaining neighbour.
+    """
+    adjacency: Dict[str, Set[str]] = {name: set() for name, _ in query.relations}
+    for name_a, name_b, _shared in join_tree_edges(query.relations):
+        adjacency[name_a].add(name_b)
+        adjacency[name_b].add(name_a)
+    order: List[Tuple[str, str]] = []
+    while len(adjacency) > 1:
+        leaf = min(name for name in adjacency if len(adjacency[name]) == 1)
+        (host,) = adjacency[leaf]
+        order.append((leaf, host))
+        adjacency[host].discard(leaf)
+        del adjacency[leaf]
+    return order
+
+
+def remove_dangling(
+    query: TreeQuery, relations: Dict[str, DistRelation]
+) -> Dict[str, DistRelation]:
+    """Return semijoin-reduced copies of ``relations``.
+
+    After this step every remaining tuple participates in at least one full
+    join result, and the query result is empty iff any relation is empty.
+    """
+    reduced = dict(relations)
+    order = elimination_order(query)
+
+    def reduce_pair(target_name: str, source_name: str) -> None:
+        target = reduced[target_name]
+        source = reduced[source_name]
+        shared = tuple(sorted(set(target.schema) & set(source.schema)))
+        if not shared:
+            return
+        filtered = semijoin(
+            target.data,
+            source.data,
+            target.key_fn(shared),
+            source.key_fn(shared),
+        )
+        reduced[target_name] = target.with_data(filtered)
+
+    for leaf, host in order:  # bottom-up
+        reduce_pair(host, leaf)
+    for leaf, host in reversed(order):  # top-down
+        reduce_pair(leaf, host)
+    return reduced

@@ -1,0 +1,114 @@
+"""Output-size estimation for line queries (paper §2.2).
+
+For a line query ``∑ R1(A1,A2) ⋈ … ⋈ Rn(An,An+1)`` the output size is
+``OUT = Σ_a OUT_a`` where ``OUT_a`` counts the distinct ``A_{n+1}`` values
+reachable from ``a ∈ dom(A1)``.  The paper computes a constant-factor
+approximation of every ``OUT_a`` (and hence of OUT) with linear load by
+pushing KMV sketches from right to left with n reduce-by-key passes, using
+the sketch merge as the "sum".
+
+Sketch bundles are metered as one communication unit each: their true size
+is O(k log N) = Õ(1), absorbed by the paper's Õ notation (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..data.relation import DistRelation
+from ..mpc.distributed import Distributed
+from .degrees import attach_by_key
+from .kmv import MultiKMV
+from .reduce_by_key import reduce_by_key
+
+__all__ = ["estimate_path_out", "sketch_column", "propagate_sketches"]
+
+#: Default sketch parameters: k controls the per-sketch accuracy (≈1/√k
+#: relative error), repetitions the median boosting.
+DEFAULT_K = 64
+DEFAULT_REPETITIONS = 5
+
+
+def sketch_column(
+    relation: DistRelation,
+    counted_attr: str,
+    key_attr: str,
+    k: int = DEFAULT_K,
+    repetitions: int = DEFAULT_REPETITIONS,
+    base_salt: int = 1000,
+) -> Distributed:
+    """Per ``key_attr`` value, a :class:`MultiKMV` over the joined
+    ``counted_attr`` values: ``(key_value, bundle)`` pairs."""
+    counted_index = relation.attr_index(counted_attr)
+    key_index = relation.attr_index(key_attr)
+    singles = relation.data.map_items(
+        lambda item: (
+            item[0][key_index],
+            MultiKMV.of([item[0][counted_index]], k, repetitions, base_salt),
+        )
+    )
+    return reduce_by_key(
+        singles,
+        lambda pair: pair[0],
+        lambda pair: pair[1],
+        lambda a, b: a.merge(b),
+    )
+
+
+def propagate_sketches(
+    sketches: Distributed,
+    relation: DistRelation,
+    from_attr: str,
+    to_attr: str,
+) -> Distributed:
+    """One right-to-left step: merge, for every ``to`` value, the bundles of
+    all ``from`` values it joins with."""
+    from_index = relation.attr_index(from_attr)
+    to_index = relation.attr_index(to_attr)
+
+    # Skew-safe attachment: a heavy `from` value must not pile its tuples
+    # onto one server, so the bundles are joined in via multi-search.
+    tagged = attach_by_key(
+        relation.data, sketches, lambda item: item[0][from_index], default=None
+    )
+    emitted = tagged.filter_items(lambda entry: entry[1] is not None).map_items(
+        lambda entry: (entry[0][0][to_index], entry[1])
+    )
+    return reduce_by_key(
+        emitted,
+        lambda pair: pair[0],
+        lambda pair: pair[1],
+        lambda a, b: a.merge(b),
+    )
+
+
+def estimate_path_out(
+    relations: Sequence[DistRelation],
+    attrs: Sequence[str],
+    k: int = DEFAULT_K,
+    repetitions: int = DEFAULT_REPETITIONS,
+    base_salt: int = 1000,
+) -> Tuple[float, Distributed]:
+    """Estimate reachable-distinct counts along a path.
+
+    ``attrs = [X0, …, Xm]`` and ``relations[i]`` has schema containing
+    ``(X_i, X_{i+1})``.  Counts, for every value of ``X0``, the distinct
+    ``Xm`` values reachable through the path, and returns
+    ``(total_estimate, per_value)`` where ``per_value`` holds
+    ``(x0_value, estimate)`` pairs hash-partitioned by value.
+
+    This is the paper's OUT estimator when the path is the whole line query
+    (then ``total ≈ OUT`` and per-value ≈ OUT_a), and the arm-statistics
+    estimator ``d_i(b)`` for star-like queries (§6).
+    """
+    if len(relations) != len(attrs) - 1 or not relations:
+        raise ValueError("need m relations for m+1 path attributes")
+    sketches = sketch_column(
+        relations[-1], attrs[-1], attrs[-2], k, repetitions, base_salt
+    )
+    for i in range(len(relations) - 2, -1, -1):
+        sketches = propagate_sketches(sketches, relations[i], attrs[i + 1], attrs[i])
+    per_value = sketches.map_items(lambda pair: (pair[0], pair[1].estimate()))
+    local_sums = [sum(est for _value, est in part) for part in per_value.parts]
+    per_value.view.control_gather(local_sums)
+    return float(sum(local_sums)), per_value

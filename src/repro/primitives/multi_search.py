@@ -1,0 +1,94 @@
+"""Multi-search (paper §2.1, [13]).
+
+Given a set ``X`` of queries and a set ``Y`` of ordered reference records,
+find for every ``x ∈ X`` its predecessor in ``Y`` — the reference with the
+largest key ≤ the query's key (the variant semijoins and table-attachment
+need: an equal reference must be found).  O(1) rounds, O(N/p) load.
+
+Crucially, the tagged union is sorted with a *unique tiebreak* per record,
+so a heavily duplicated key spreads over many servers instead of landing on
+one (the skew case where hash co-partitioning fails and the paper reaches
+for multi-search).  The per-server boundary is stitched by carrying each
+server's last reference record across the control channel.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Tuple
+
+from ..mpc.distributed import Distributed
+from .sort import distributed_sort
+
+__all__ = ["multi_search", "multi_search_items"]
+
+
+def multi_search_items(
+    queries: Distributed,
+    references: Distributed,
+    query_key: Callable[[Any], Any],
+    reference_key: Callable[[Any], Any],
+) -> Distributed:
+    """``(query_item, predecessor_reference_item_or_None)`` pairs.
+
+    Both datasets must live on the same view.  The result keeps the sorted
+    (by key, ties split) distribution of the queries.
+    """
+    view = queries.view
+
+    def tag(dist: Distributed, rank: int, key_fn) -> Distributed:
+        parts = []
+        for part_index, part in enumerate(dist.parts):
+            parts.append(
+                [
+                    (key_fn(item), rank, (part_index, position), item)
+                    for position, item in enumerate(part)
+                ]
+            )
+        return Distributed(view, parts)
+
+    # References sort before queries at equal keys (rank 0 < 1); the unique
+    # (origin server, position) tiebreak splits duplicated keys evenly.
+    tagged = tag(references, 0, reference_key).concat(tag(queries, 1, query_key))
+    ordered = distributed_sort(tagged, lambda row: (row[0], row[1], row[2]))
+
+    last_refs: List[Optional[Tuple[Any, Any]]] = []
+    for part in ordered.parts:
+        last: Optional[Tuple[Any, Any]] = None
+        for key, rank, _uid, item in part:
+            if rank == 0:
+                last = (key, item)
+        last_refs.append(last)
+    view.control_gather([ref is not None for ref in last_refs])
+    carry: List[Optional[Tuple[Any, Any]]] = []
+    running: Optional[Tuple[Any, Any]] = None
+    for ref in last_refs:
+        carry.append(running)
+        if ref is not None:
+            running = ref
+    view.control_scatter(1)
+
+    parts: List[List[Tuple[Any, Optional[Any]]]] = []
+    for part, incoming in zip(ordered.parts, carry):
+        current = incoming
+        rows: List[Tuple[Any, Optional[Any]]] = []
+        for key, rank, _uid, item in part:
+            if rank == 0:
+                current = (key, item)
+            else:
+                rows.append((item, current[1] if current is not None else None))
+        parts.append(rows)
+    return Distributed(view, parts)
+
+
+def multi_search(
+    queries: Distributed,
+    references: Distributed,
+    query_key: Callable[[Any], Any],
+    reference_key: Callable[[Any], Any],
+) -> Distributed:
+    """``(query_item, predecessor_reference_key_or_None)`` pairs (the paper's
+    original formulation: only the predecessor's key is reported)."""
+    with_items = multi_search_items(queries, references, query_key, reference_key)
+    return with_items.map_items(
+        lambda pair: (pair[0], None if pair[1] is None else reference_key(pair[1]))
+    )

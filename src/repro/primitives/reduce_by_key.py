@@ -1,0 +1,71 @@
+"""Reduce-by-key (paper §2.1, [13]).
+
+Computes the "sum" of values per key under any associative, commutative
+combiner in O(1) rounds with O(N/p + K/p) load: local pre-aggregation first
+(so each server emits at most one partial per key), then a hash
+repartitioning of the ≤ p·K partials, then a final local combine.  The
+pre-aggregation is what caps the per-key fan-in at p and keeps heavy keys
+harmless.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+from ..mpc.distributed import Distributed
+from ..mpc.hashing import hash_to_bucket
+
+__all__ = ["reduce_by_key", "count_by_key", "distinct_keys"]
+
+
+def reduce_by_key(
+    dist: Distributed,
+    key_fn: Callable[[Any], Any],
+    value_fn: Callable[[Any], Any],
+    combine: Callable[[Any, Any], Any],
+    salt: int = 0,
+) -> Distributed:
+    """Return a dataset of ``(key, combined_value)`` pairs, one per distinct key,
+    hash-partitioned by key."""
+    view = dist.view
+    p = view.p
+
+    def pre_aggregate(part: List[Any]) -> List[Any]:
+        partials: Dict[Any, Any] = {}
+        for item in part:
+            key = key_fn(item)
+            value = value_fn(item)
+            if key in partials:
+                partials[key] = combine(partials[key], value)
+            else:
+                partials[key] = value
+        return list(partials.items())
+
+    partials = dist.map_parts(pre_aggregate)
+    routed = partials.repartition(lambda pair: hash_to_bucket(pair[0], p, salt))
+
+    def final_aggregate(part: List[Any]) -> List[Any]:
+        totals: Dict[Any, Any] = {}
+        for key, value in part:
+            if key in totals:
+                totals[key] = combine(totals[key], value)
+            else:
+                totals[key] = value
+        return list(totals.items())
+
+    return routed.map_parts(final_aggregate)
+
+
+def count_by_key(
+    dist: Distributed, key_fn: Callable[[Any], Any], salt: int = 0
+) -> Distributed:
+    """Degree computation (§2.1): ``(key, multiplicity)`` pairs."""
+    return reduce_by_key(dist, key_fn, lambda _item: 1, lambda a, b: a + b, salt)
+
+
+def distinct_keys(
+    dist: Distributed, key_fn: Callable[[Any], Any], salt: int = 0
+) -> Distributed:
+    """Distinct keys of the dataset, hash-partitioned (items are bare keys)."""
+    reduced = reduce_by_key(dist, key_fn, lambda _item: None, lambda a, _b: a, salt)
+    return reduced.map_items(lambda pair: pair[0])

@@ -1,0 +1,42 @@
+"""Prefix sums over a distributed dataset (helper for parallel-packing).
+
+The values never move: each server computes its local sum, the coordinator
+turns the p sums into p offsets (control channel), and each server produces
+its local exclusive prefixes.  Zero data rounds.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Tuple
+
+from ..mpc.distributed import Distributed
+
+__all__ = ["exclusive_prefix"]
+
+
+def exclusive_prefix(
+    dist: Distributed, value_fn: Callable[[Any], float]
+) -> Tuple[Distributed, float]:
+    """Pair every item with the sum of the values of all items before it
+    (in part order, then within-part order).  Returns ``(pairs, total)``
+    where pairs are ``(item, prefix_before)``.
+    """
+    view = dist.view
+    local_sums = [sum(value_fn(item) for item in part) for part in dist.parts]
+    view.control_gather(local_sums)
+    offsets: List[float] = []
+    running = 0.0
+    for value in local_sums:
+        offsets.append(running)
+        running += value
+    view.control_scatter(1)
+
+    parts = []
+    for part, offset in zip(dist.parts, offsets):
+        prefix = offset
+        rows = []
+        for item in part:
+            rows.append((item, prefix))
+            prefix += value_fn(item)
+        parts.append(rows)
+    return Distributed(view, parts), running

@@ -1,0 +1,85 @@
+"""Distributed sorting (paper §2.1, [10]).
+
+Sample sort with regular sampling: O(1) rounds, O(N/p) load.  Each server
+sorts locally, contributes p evenly spaced sample keys over the control
+channel, the coordinator picks p−1 splitters, items are range-partitioned,
+and each range is sorted locally.
+
+By default a *unique tiebreak* (origin server, position) extends every key,
+so heavily duplicated keys spread across servers — required for the O(N/p)
+guarantee under skew.  ``split_ties=False`` keeps equal keys on one server,
+which some algorithms rely on (e.g. the §3 unbalanced matmul case sorts by
+the output attribute and needs each output value co-located; the paper
+proves the relevant degree is ≤ N/p there, so the bound still holds).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Callable, List, Tuple
+
+from ..mpc.distributed import Distributed
+
+__all__ = ["distributed_sort", "splitters_for"]
+
+
+def splitters_for(
+    dist: Distributed, key_fn: Callable[[Any], Any]
+) -> List[Any]:
+    """p−1 range splitters chosen by regular sampling (control-channel cost)."""
+    view = dist.view
+    p = view.p
+    samples: List[Any] = []
+    for part in dist.parts:
+        keys = sorted(key_fn(item) for item in part)
+        if not keys:
+            continue
+        step = max(1, len(keys) // p)
+        samples.extend(keys[::step][:p])
+    view.control_gather(samples)
+    samples.sort()
+    if not samples:
+        return []
+    step = max(1, len(samples) // p)
+    splitters = samples[step::step][: p - 1]
+    view.control_scatter(len(splitters))
+    return splitters
+
+
+def distributed_sort(
+    dist: Distributed,
+    key_fn: Callable[[Any], Any],
+    split_ties: bool = True,
+) -> Distributed:
+    """Globally sort ``dist`` by ``key_fn``.
+
+    Returns a dataset whose parts are locally sorted and globally
+    range-ordered: every key on server ``i`` ≤ every key on server ``j`` for
+    ``i < j``.  One data round (plus control traffic).
+    """
+    if not split_ties:
+        splitters = splitters_for(dist, key_fn)
+        routed = dist.repartition(
+            lambda item: bisect.bisect_right(splitters, key_fn(item))
+        )
+        return routed.map_parts(lambda part: sorted(part, key=key_fn))
+
+    # Tag with a unique (origin, position) tiebreak, sort by the extended
+    # key, then strip the tags.
+    tagged_parts: List[List[Tuple[Any, Tuple[int, int], Any]]] = []
+    for part_index, part in enumerate(dist.parts):
+        tagged_parts.append(
+            [
+                (key_fn(item), (part_index, position), item)
+                for position, item in enumerate(part)
+            ]
+        )
+    tagged = Distributed(dist.view, tagged_parts)
+    splitters = splitters_for(tagged, lambda row: (row[0], row[1]))
+    routed = tagged.repartition(
+        lambda row: bisect.bisect_right(splitters, (row[0], row[1]))
+    )
+    ordered = routed.map_parts(
+        lambda part: sorted(part, key=lambda row: (row[0], row[1]))
+    )
+    return ordered.map_items(lambda row: row[2])

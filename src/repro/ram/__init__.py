@@ -1,0 +1,16 @@
+"""Sequential (RAM-model) reference implementations — the correctness oracle."""
+
+from .evaluate import brute_force, evaluate, full_join_size, output_size, result_schema
+from .yannakakis import JoinStep, run_yannakakis, semijoin_reduce, yannakakis_plan
+
+__all__ = [
+    "brute_force",
+    "evaluate",
+    "output_size",
+    "full_join_size",
+    "result_schema",
+    "JoinStep",
+    "yannakakis_plan",
+    "run_yannakakis",
+    "semijoin_reduce",
+]

@@ -1,0 +1,239 @@
+"""Sequential (RAM-model) reference evaluation of join-aggregate queries.
+
+Two evaluators:
+
+* :func:`brute_force` — materializes the full join ``Q(R)`` by backtracking
+  and then aggregates.  Exponentially safe only for tiny inputs; used to
+  validate the second evaluator.
+* :func:`evaluate` — exact variable elimination on the query tree (the
+  RAM Yannakakis algorithm generalized to arbitrary output attributes):
+  messages flow bottom-up along the attribute tree, carrying the output
+  attributes of their subtree.  Always correct; its intermediate size is the
+  paper's ``J`` for non-free-connex queries.
+
+Both return a :class:`~repro.data.relation.Relation` over the query's output
+attributes in sorted order (the canonical result schema used throughout the
+test suite), dropping result tuples whose aggregate annotation is the
+semiring zero only when they received no contribution at all (i.e. we keep
+computed zeros, matching the semantics "t_y ∈ π_y Q(R)").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..data.query import Instance, TreeQuery
+from ..data.relation import Relation
+
+__all__ = ["brute_force", "evaluate", "output_size", "full_join_size"]
+
+
+def result_schema(query: TreeQuery) -> Tuple[str, ...]:
+    """Canonical output schema: output attributes in sorted order."""
+    return tuple(sorted(query.output))
+
+
+def brute_force(instance: Instance) -> Relation:
+    """Materialize Q(R) tuple-by-tuple, then group and ⊕-aggregate."""
+    query = instance.query
+    semiring = instance.semiring
+    schema = result_schema(query)
+    result = Relation("brute_force", schema)
+
+    order = _relation_order(query)
+    assignments: Dict[str, Any] = {}
+
+    def backtrack(position: int, annotation: Any) -> None:
+        if position == len(order):
+            key = tuple(assignments[a] for a in schema)
+            result.add(key, annotation, semiring)
+            return
+        name, attrs = order[position]
+        relation = instance.relation(name)
+        for values, weight in relation:
+            bound = dict(zip(attrs, values))
+            if any(assignments.get(a, v) != v for a, v in bound.items()):
+                continue
+            added = [a for a in bound if a not in assignments]
+            assignments.update({a: bound[a] for a in added})
+            backtrack(position + 1, semiring.mul(annotation, weight))
+            for a in added:
+                del assignments[a]
+
+    backtrack(0, semiring.one)
+    return result
+
+
+def _relation_order(query: TreeQuery) -> List[Tuple[str, Tuple[str, str]]]:
+    """Relations ordered so each one (after the first) shares an attribute
+    with the already-placed prefix (valid backtracking order on a tree)."""
+    remaining = list(query.relations)
+    ordered = [remaining.pop(0)]
+    placed = set(ordered[0][1])
+    while remaining:
+        for index, (name, attrs) in enumerate(remaining):
+            if set(attrs) & placed:
+                ordered.append(remaining.pop(index))
+                placed |= set(attrs)
+                break
+        else:  # pragma: no cover - impossible on a tree
+            ordered.append(remaining.pop(0))
+            placed |= set(ordered[-1][1])
+    return ordered
+
+
+# -- exact variable elimination ------------------------------------------------
+
+
+def evaluate(instance: Instance) -> Relation:
+    """Exact join-aggregate by message passing on the attribute tree."""
+    query = instance.query
+    semiring = instance.semiring
+    schema = result_schema(query)
+
+    root = _pick_root(query)
+    messages = [
+        _message(instance, rel_index, child, root_side)
+        for rel_index, child, root_side in _root_edges(query, root)
+    ]
+    keep_root = root in query.output
+    combined = _combine_messages(instance, root, messages)
+
+    result = Relation("evaluate", schema)
+    for root_value, rows in combined.items():
+        for extra_key, weight in rows.items():
+            bound = dict(extra_key)
+            if keep_root:
+                bound[root] = root_value
+            key = tuple(bound[a] for a in schema)
+            result.add(key, weight, semiring)
+    return result
+
+
+def _pick_root(query: TreeQuery) -> str:
+    for attribute in sorted(query.attributes):
+        if attribute in query.output:
+            return attribute
+    return sorted(query.attributes)[0]
+
+
+def _root_edges(query: TreeQuery, root: str) -> List[Tuple[int, str, str]]:
+    return [(rel_index, neighbour, root) for rel_index, neighbour in query.adjacency[root]]
+
+
+#: message: value-of-parent-attr → { frozenset((attr, value), ...) → annotation }
+Message = Dict[Any, Dict[frozenset, Any]]
+
+
+def _message(instance: Instance, rel_index: int, child: str, parent: str) -> Message:
+    """⊕-aggregated message over relation ``rel_index`` from ``child`` towards
+    ``parent``, retaining the output attributes of the child's subtree."""
+    query = instance.query
+    semiring = instance.semiring
+    name, attrs = query.relations[rel_index]
+    relation = instance.relation(name)
+    child_index = attrs.index(child)
+    parent_index = attrs.index(parent)
+
+    sub_messages = [
+        _message(instance, sub_index, neighbour, child)
+        for sub_index, neighbour in query.adjacency[child]
+        if sub_index != rel_index
+    ]
+    child_rows = _combine_messages(instance, child, sub_messages)
+    keep_child = child in query.output
+
+    out: Message = {}
+    for values, weight in relation:
+        child_value = values[child_index]
+        parent_value = values[parent_index]
+        rows = child_rows.get(child_value)
+        if rows is None:
+            continue
+        target = out.setdefault(parent_value, {})
+        for extra_key, sub_weight in rows.items():
+            total = semiring.mul(weight, sub_weight)
+            key = extra_key | {(child, child_value)} if keep_child else extra_key
+            key = frozenset(key)
+            if key in target:
+                target[key] = semiring.add(target[key], total)
+            else:
+                target[key] = total
+    return out
+
+
+def _combine_messages(
+    instance: Instance, attribute: str, messages: Sequence[Message]
+) -> Dict[Any, Dict[frozenset, Any]]:
+    """⊗-join messages on their shared attribute value.
+
+    With no messages, every value joins with the empty row of weight 1 —
+    returned as a defaulting mapping handled by callers via ``.get``.
+    """
+    semiring = instance.semiring
+    if not messages:
+        return _AllValues(semiring.one)
+    values = set(messages[0])
+    for message in messages[1:]:
+        values &= set(message)
+    combined: Dict[Any, Dict[frozenset, Any]] = {}
+    for value in values:
+        rows: Dict[frozenset, Any] = {frozenset(): semiring.one}
+        for message in messages:
+            new_rows: Dict[frozenset, Any] = {}
+            for extra_key, weight in rows.items():
+                for other_key, other_weight in message[value].items():
+                    merged = extra_key | other_key
+                    total = semiring.mul(weight, other_weight)
+                    if merged in new_rows:
+                        new_rows[merged] = semiring.add(new_rows[merged], total)
+                    else:
+                        new_rows[merged] = total
+            rows = new_rows
+        combined[value] = rows
+    return combined
+
+
+class _AllValues:
+    """A mapping that reports the trivial row for *every* key (leaf case)."""
+
+    def __init__(self, one: Any) -> None:
+        self._row = {frozenset(): one}
+
+    def get(self, _key: Any, default: Any = None) -> Dict[frozenset, Any]:
+        return self._row
+
+    def items(self):  # pragma: no cover - not iterated at leaves
+        raise TypeError("leaf message cannot be enumerated")
+
+
+def output_size(instance: Instance) -> int:
+    """OUT = |π_y Q(R)| computed exactly (oracle-side)."""
+    return len(evaluate(instance))
+
+
+def full_join_size(instance: Instance) -> int:
+    """|Q(R)| — size of the full join (oracle-side, by backtrack counting)."""
+    query = instance.query
+    order = _relation_order(query)
+    assignments: Dict[str, Any] = {}
+    count = 0
+
+    def backtrack(position: int) -> None:
+        nonlocal count
+        if position == len(order):
+            count += 1
+            return
+        name, attrs = order[position]
+        for values, _ in instance.relation(name):
+            bound = dict(zip(attrs, values))
+            if any(assignments.get(a, v) != v for a, v in bound.items()):
+                continue
+            added = [a for a in bound if a not in assignments]
+            assignments.update({a: bound[a] for a in added})
+            backtrack(position + 1)
+            for a in added:
+                del assignments[a]
+
+    backtrack(0)
+    return count

@@ -1,0 +1,163 @@
+"""The (sequential) Yannakakis algorithm and its join plan (paper §1.2).
+
+The Yannakakis algorithm removes dangling tuples with semijoins, then
+repeatedly joins a leaf relation of the *join tree* into its neighbour,
+projecting/aggregating down to the attributes still needed (output
+attributes plus connectors to the remaining relations).
+
+This module provides:
+
+* :func:`yannakakis_plan` — the sequence of pairwise join steps, shared by
+  the sequential executor here and the distributed baseline
+  (:mod:`repro.core.yannakakis_mpc`), so both run literally the same plan;
+* :func:`run_yannakakis` — sequential execution, returning the result and
+  the maximum intermediate join size ``J`` (the quantity that determines the
+  baseline's MPC load ``O(N/p + J/p)``);
+* :func:`semijoin_reduce` — dangling-tuple removal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from ..data.hypergraph import join_tree_edges
+from ..data.query import Instance, TreeQuery
+from ..data.relation import Relation
+from ..semiring import Semiring
+
+__all__ = ["JoinStep", "yannakakis_plan", "run_yannakakis", "semijoin_reduce"]
+
+
+@dataclass(frozen=True)
+class JoinStep:
+    """Merge relation ``leaf`` into ``host``, keeping ``keep`` attributes.
+
+    Semantics: ``host ← Σ_{attrs(leaf ⋈ host) − keep} (leaf ⋈ host)``.
+    """
+
+    leaf: str
+    host: str
+    keep: Tuple[str, ...]
+
+
+def yannakakis_plan(query: TreeQuery) -> List[JoinStep]:
+    """The bottom-up pairwise join-aggregate plan for ``query``.
+
+    Builds an explicit join tree (see
+    :func:`repro.data.hypergraph.join_tree_edges`) and repeatedly folds a
+    leaf into its join-tree neighbour.  Kept attributes = (union of both
+    schemas) ∩ (output ∪ attributes of untouched relations).
+    """
+    nodes: Dict[str, Set[str]] = {name: set(attrs) for name, attrs in query.relations}
+    adjacency: Dict[str, Set[str]] = {name: set() for name in nodes}
+    for name_a, name_b, _shared in join_tree_edges(query.relations):
+        adjacency[name_a].add(name_b)
+        adjacency[name_b].add(name_a)
+    output = set(query.output)
+    steps: List[JoinStep] = []
+
+    while len(nodes) > 1:
+        leaf_name = min(name for name in nodes if len(adjacency[name]) == 1)
+        (host_name,) = adjacency[leaf_name]
+        merged_attrs = nodes[leaf_name] | nodes[host_name]
+        others: Set[str] = set()
+        for name, attrs in nodes.items():
+            if name not in (leaf_name, host_name):
+                others |= attrs
+        keep = tuple(sorted(merged_attrs & (output | others)))
+        steps.append(JoinStep(leaf_name, host_name, keep))
+        nodes[host_name] = set(keep)
+        del nodes[leaf_name]
+        adjacency[host_name].discard(leaf_name)
+        del adjacency[leaf_name]
+    return steps
+
+
+# -- sequential execution -------------------------------------------------------
+
+
+def semijoin_reduce(instance: Instance) -> Dict[str, Relation]:
+    """Remove dangling tuples: leaf-to-root then root-to-leaf semijoin passes.
+
+    Returns new relations; the input instance is left untouched.
+    """
+    query = instance.query
+    relations: Dict[str, Relation] = {
+        name: Relation(name, rel.schema, list(rel)) for name, rel in instance.relations.items()
+    }
+    plan = yannakakis_plan(query)
+    # Bottom-up: semijoin host by leaf along the plan order.
+    order: List[Tuple[str, str]] = [(step.leaf, step.host) for step in plan]
+    for leaf, host in order:
+        _semijoin_in_place(relations[host], relations[leaf])
+    # Top-down: reverse order, semijoin leaf by host.
+    for leaf, host in reversed(order):
+        _semijoin_in_place(relations[leaf], relations[host])
+    return relations
+
+
+def _semijoin_in_place(target: Relation, source: Relation) -> None:
+    shared = tuple(sorted(set(target.schema) & set(source.schema)))
+    if not shared:
+        return
+    source_keys = source.project_keys(shared)
+    indices = [target.attr_index(a) for a in shared]
+    target.tuples = {
+        values: weight
+        for values, weight in target.tuples.items()
+        if tuple(values[i] for i in indices) in source_keys
+    }
+
+
+def run_yannakakis(instance: Instance) -> Tuple[Relation, int]:
+    """Execute the sequential Yannakakis algorithm.
+
+    Returns ``(result, J)`` where ``J`` is the maximum intermediate join size
+    encountered (paper §1.2: the baseline's complexity driver).
+    """
+    query = instance.query
+    semiring = instance.semiring
+    relations = semijoin_reduce(instance)
+    max_intermediate = 0
+
+    for step in yannakakis_plan(query):
+        leaf = relations.pop(step.leaf)
+        host = relations[step.host]
+        joined, join_size = _join_aggregate(leaf, host, step.keep, semiring)
+        max_intermediate = max(max_intermediate, join_size)
+        relations[step.host] = joined
+
+    (final,) = relations.values()
+    schema = tuple(sorted(query.output))
+    result = Relation("yannakakis", schema)
+    for values, weight in final:
+        key = tuple(values[final.attr_index(a)] for a in schema)
+        result.add(key, weight, semiring)
+    return result, max_intermediate
+
+
+def _join_aggregate(
+    left: Relation, right: Relation, keep: Sequence[str], semiring: Semiring
+) -> Tuple[Relation, int]:
+    """``Σ_{−keep} (left ⋈ right)`` plus the intermediate join cardinality."""
+    shared = tuple(sorted(set(left.schema) & set(right.schema)))
+    index: Dict[Tuple, List[Tuple[Tuple, object]]] = {}
+    left_shared = [left.attr_index(a) for a in shared]
+    for values, weight in left:
+        key = tuple(values[i] for i in left_shared)
+        index.setdefault(key, []).append((values, weight))
+
+    right_shared = [right.attr_index(a) for a in shared]
+    out_schema = tuple(keep)
+    result = Relation(f"{left.name}⋈{right.name}", out_schema)
+    join_size = 0
+    for r_values, r_weight in right:
+        key = tuple(r_values[i] for i in right_shared)
+        for l_values, l_weight in index.get(key, ()):
+            join_size += 1
+            bound = dict(zip(left.schema, l_values))
+            bound.update(zip(right.schema, r_values))
+            out_key = tuple(bound[a] for a in out_schema)
+            result.add(out_key, semiring.mul(l_weight, r_weight), semiring)
+    return result, join_size

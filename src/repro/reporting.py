@@ -1,0 +1,103 @@
+"""Structured experiment reports.
+
+The benchmark suite prints tables for humans; this module produces the
+same comparisons as *data* — for notebooks, CI dashboards, or the CLI.
+:func:`table1_report` reruns the paper's Table 1 on adversarial workload
+families at a configurable scale and returns one :class:`ComparisonRow`
+per query class; :func:`render_markdown` turns any row list into a
+markdown table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from .core.executor import run_query
+from .data.query import Instance
+from .workloads import (
+    bowtie_line,
+    overlapping_star,
+    planted_out_matmul,
+    twig_instance,
+)
+
+__all__ = ["ComparisonRow", "compare_on", "table1_report", "render_markdown"]
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """Baseline-vs-paper measurement for one instance."""
+
+    label: str
+    query_class: str
+    input_size: int
+    out_size: int
+    baseline_load: int
+    new_load: int
+    baseline_comm: int
+    new_comm: int
+    rounds: int
+
+    @property
+    def speedup(self) -> float:
+        """Baseline load over new-algorithm load (> 1 ⇒ the paper wins)."""
+        return self.baseline_load / max(1, self.new_load)
+
+
+def compare_on(instance: Instance, label: str, p: int = 16) -> ComparisonRow:
+    """Run both algorithms on one instance and package the measurements.
+
+    Raises ``AssertionError`` if the algorithms disagree (they never
+    should; this keeps report data trustworthy by construction).
+    """
+    baseline = run_query(instance, p=p, algorithm="yannakakis")
+    ours = run_query(instance, p=p, algorithm="auto")
+    if baseline.relation.tuples != ours.relation.tuples:
+        raise AssertionError(f"algorithms disagree on {label!r}")
+    return ComparisonRow(
+        label=label,
+        query_class=ours.query_class,
+        input_size=instance.total_size,
+        out_size=ours.out_size,
+        baseline_load=baseline.report.max_load,
+        new_load=ours.report.max_load,
+        baseline_comm=baseline.report.total_communication,
+        new_comm=ours.report.total_communication,
+        rounds=ours.report.rounds,
+    )
+
+
+def table1_report(scale: int = 300, p: int = 16) -> List[ComparisonRow]:
+    """One adversarial instance per Table-1 row, measured.
+
+    ``scale`` is the tuples-per-relation knob; families are the planted/
+    adversarial ones where the baseline's intermediate exceeds OUT (see
+    docs/paper_notes.md on why uniform-random data would show ties).
+    """
+    builders: Sequence[tuple] = (
+        ("matmul", lambda: planted_out_matmul(n=scale, out=min(scale * scale, 64 * scale))),
+        ("line", lambda: bowtie_line(blocks=max(1, scale // 25), fan_out=25, fan_mid=64)),
+        ("star", lambda: overlapping_star(arms=3, centres=32, fan=max(2, scale // 32))),
+        ("tree", lambda: twig_instance(
+            tuples=scale,
+            domain=max(10, scale // 10, int(scale ** 0.5) + 2),
+            seed=1,
+        )),
+    )
+    return [compare_on(builder(), label, p=p) for label, builder in builders]
+
+
+def render_markdown(rows: Sequence[ComparisonRow]) -> str:
+    """Rows as a GitHub-flavoured markdown table."""
+    lines = [
+        "| query | class | N | OUT | L(yann) | L(ours) | speedup |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for row in rows:
+        lines.append(
+            f"| {row.label} | {row.query_class} | {row.input_size} | "
+            f"{row.out_size} | {row.baseline_load} | {row.new_load} | "
+            f"{row.speedup:.2f}× |"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,36 @@
+"""Commutative semirings for annotated relations (paper §1.1)."""
+
+from .base import Semiring, SemiringError
+from .provenance import LINEAGE, POLYNOMIAL, WHY_PROVENANCE, monomial, polynomial_semiring
+from .standard import (
+    BOOLEAN,
+    top_k_smallest,
+    COUNTING,
+    IDEMPOTENT_SEMIRINGS,
+    MAX_MIN,
+    MAX_TIMES,
+    REAL,
+    STANDARD_SEMIRINGS,
+    TROPICAL_MAX_PLUS,
+    TROPICAL_MIN_PLUS,
+)
+
+__all__ = [
+    "Semiring",
+    "SemiringError",
+    "COUNTING",
+    "REAL",
+    "BOOLEAN",
+    "TROPICAL_MIN_PLUS",
+    "TROPICAL_MAX_PLUS",
+    "MAX_MIN",
+    "MAX_TIMES",
+    "top_k_smallest",
+    "STANDARD_SEMIRINGS",
+    "IDEMPOTENT_SEMIRINGS",
+    "LINEAGE",
+    "WHY_PROVENANCE",
+    "POLYNOMIAL",
+    "monomial",
+    "polynomial_semiring",
+]

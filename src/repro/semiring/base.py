@@ -1,0 +1,118 @@
+"""Commutative semiring abstraction.
+
+The paper computes join-aggregate queries over an arbitrary commutative
+semiring ``(R, ⊕, ⊗)``: tuples carry annotations in ``R``, the annotation of
+a join result is the ⊗-product of the annotations of its constituent tuples,
+and output groups are ⊕-aggregated.  Nothing in the algorithms may assume
+additive inverses (no subtraction), and the lower bounds additionally hold
+for *idempotent* semirings (``a ⊕ a = a``).
+
+Every algorithm in :mod:`repro` manipulates annotations exclusively through a
+:class:`Semiring` instance, which makes the semiring-model discipline
+("new elements arise only by adding/multiplying existing ones") auditable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+__all__ = ["Semiring", "SemiringError"]
+
+
+class SemiringError(ValueError):
+    """Raised when semiring axioms are violated or elements are malformed."""
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """A commutative semiring ``(R, add, mul, zero, one)``.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier, used in reprs and error messages.
+    zero:
+        Additive identity; also the annotation of "absent" tuples.
+        Must be absorbing for ``mul`` (``a ⊗ 0 = 0``).
+    one:
+        Multiplicative identity.
+    add / mul:
+        Binary operators implementing ⊕ and ⊗.  Both must be commutative
+        and associative, and ``mul`` must distribute over ``add``.
+    idempotent_add:
+        True when ``a ⊕ a = a`` for all elements (e.g. boolean, tropical).
+        The paper's lower bounds are stated for this subclass; some tests
+        key off it.
+    normalize:
+        Optional canonicalization applied to every produced element (e.g.
+        ``frozenset`` for provenance sets).  Defaults to identity.
+    """
+
+    name: str
+    zero: Any
+    one: Any
+    add: Callable[[Any, Any], Any]
+    mul: Callable[[Any, Any], Any]
+    idempotent_add: bool = False
+    normalize: Callable[[Any], Any] = field(default=lambda value: value)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Semiring({self.name})"
+
+    # -- aggregation helpers -------------------------------------------------
+
+    def sum(self, values: Iterable[Any]) -> Any:
+        """⊕-fold of ``values`` (``zero`` when empty)."""
+        total = self.zero
+        for value in values:
+            total = self.add(total, value)
+        return self.normalize(total)
+
+    def product(self, values: Iterable[Any]) -> Any:
+        """⊗-fold of ``values`` (``one`` when empty)."""
+        total = self.one
+        for value in values:
+            total = self.mul(total, value)
+        return self.normalize(total)
+
+    def is_zero(self, value: Any) -> bool:
+        """Whether ``value`` equals the additive identity."""
+        return value == self.zero
+
+    # -- axiom spot-checks (used by tests and by validating constructors) ----
+
+    def check_axioms(self, sample: Iterable[Any]) -> None:
+        """Verify the semiring axioms on a finite ``sample`` of elements.
+
+        Raises :class:`SemiringError` on the first violated identity.  This
+        is a *spot check*, not a proof; property tests drive it with many
+        random samples.
+        """
+        elements = [self.normalize(value) for value in sample]
+        elements.extend([self.zero, self.one])
+        add, mul = self.add, self.mul
+        for a in elements:
+            if add(a, self.zero) != a:
+                raise SemiringError(f"{self.name}: 0 is not additive identity for {a!r}")
+            if mul(a, self.one) != a:
+                raise SemiringError(f"{self.name}: 1 is not multiplicative identity for {a!r}")
+            if mul(a, self.zero) != self.zero:
+                raise SemiringError(f"{self.name}: 0 is not absorbing for {a!r}")
+            if self.idempotent_add and add(a, a) != a:
+                raise SemiringError(f"{self.name}: ⊕ not idempotent on {a!r}")
+        for a in elements:
+            for b in elements:
+                if add(a, b) != add(b, a):
+                    raise SemiringError(f"{self.name}: ⊕ not commutative on {a!r}, {b!r}")
+                if mul(a, b) != mul(b, a):
+                    raise SemiringError(f"{self.name}: ⊗ not commutative on {a!r}, {b!r}")
+        for a in elements:
+            for b in elements:
+                for c in elements:
+                    if add(add(a, b), c) != add(a, add(b, c)):
+                        raise SemiringError(f"{self.name}: ⊕ not associative")
+                    if mul(mul(a, b), c) != mul(a, mul(b, c)):
+                        raise SemiringError(f"{self.name}: ⊗ not associative")
+                    if mul(a, add(b, c)) != add(mul(a, b), mul(a, c)):
+                        raise SemiringError(f"{self.name}: ⊗ does not distribute over ⊕")

@@ -1,0 +1,122 @@
+"""Provenance semirings (Green, Karvounarakis & Tannen, PODS 2007).
+
+The paper cites annotated relations [11, 15]; provenance semirings are the
+canonical non-numeric instantiation.  We provide:
+
+* :data:`WHY_PROVENANCE` — sets of sets of tuple identifiers ("witness
+  bases"): ⊕ is union, ⊗ is pairwise union of witnesses.  Idempotent.
+* :data:`LINEAGE` — flat sets of tuple identifiers: ⊕ and ⊗ are both union.
+  Idempotent; the coarsest informative provenance.
+* :func:`polynomial_semiring` — provenance polynomials ℕ[X] represented as
+  monomial→coefficient mappings; the most general (universal) provenance.
+
+These semirings stress algorithms differently from numeric ones: elements
+grow structurally, ⊗ is not cheap, and nothing cancels.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Mapping, Tuple
+
+from .base import Semiring
+
+__all__ = ["LINEAGE", "WHY_PROVENANCE", "polynomial_semiring", "POLYNOMIAL", "monomial"]
+
+
+def _lineage_add(a: FrozenSet, b: FrozenSet) -> FrozenSet:
+    return a | b
+
+
+LINEAGE = Semiring(
+    name="lineage",
+    zero=frozenset(),
+    one=frozenset(),
+    add=_lineage_add,
+    mul=_lineage_add,
+    idempotent_add=True,
+    normalize=frozenset,
+)
+# Note: lineage has zero == one; it is a degenerate (but legal) semiring in
+# which "absent" and "present with empty support" coincide.  Tests that rely
+# on distinguishing zero from one skip it.
+
+
+def _why_add(a: FrozenSet[FrozenSet], b: FrozenSet[FrozenSet]) -> FrozenSet[FrozenSet]:
+    return a | b
+
+
+def _why_mul(a: FrozenSet[FrozenSet], b: FrozenSet[FrozenSet]) -> FrozenSet[FrozenSet]:
+    return frozenset(wa | wb for wa in a for wb in b)
+
+
+WHY_PROVENANCE = Semiring(
+    name="why-provenance",
+    zero=frozenset(),
+    one=frozenset({frozenset()}),
+    add=_why_add,
+    mul=_why_mul,
+    idempotent_add=True,
+    normalize=frozenset,
+)
+
+
+# -- provenance polynomials ℕ[X] ---------------------------------------------
+
+#: A monomial is a sorted tuple of (variable, exponent) pairs.
+Monomial = Tuple[Tuple[str, int], ...]
+#: A polynomial maps monomials to positive integer coefficients.
+Polynomial = Mapping[Monomial, int]
+
+
+def monomial(*variables: str) -> "frozenset":
+    """Build the polynomial ``x1·x2·…`` as a canonical element of ℕ[X]."""
+    exponents: dict[str, int] = {}
+    for variable in variables:
+        exponents[variable] = exponents.get(variable, 0) + 1
+    mono: Monomial = tuple(sorted(exponents.items()))
+    return _poly_normalize({mono: 1})
+
+
+def _poly_normalize(poly) -> "frozenset":
+    items = tuple(sorted((m, c) for m, c in dict(poly).items() if c))
+    return frozenset(items)
+
+
+def _poly_add(a, b):
+    out: dict[Monomial, int] = dict(a)
+    for mono, coeff in b:
+        out[mono] = out.get(mono, 0) + coeff
+    return _poly_normalize(out)
+
+
+def _poly_mul(a, b):
+    out: dict[Monomial, int] = {}
+    for mono_a, coeff_a in a:
+        for mono_b, coeff_b in b:
+            exponents: dict[str, int] = dict(mono_a)
+            for variable, exponent in mono_b:
+                exponents[variable] = exponents.get(variable, 0) + exponent
+            mono = tuple(sorted(exponents.items()))
+            out[mono] = out.get(mono, 0) + coeff_a * coeff_b
+    return _poly_normalize(out)
+
+
+def polynomial_semiring() -> Semiring:
+    """ℕ[X], the universal provenance semiring.
+
+    Elements are frozensets of ``(monomial, coefficient)`` pairs (a hashable
+    canonical form of the polynomial).  ``zero`` is the empty polynomial and
+    ``one`` is the constant 1.
+    """
+    return Semiring(
+        name="polynomial-provenance",
+        zero=_poly_normalize({}),
+        one=_poly_normalize({(): 1}),
+        add=_poly_add,
+        mul=_poly_mul,
+        normalize=lambda value: value,
+    )
+
+
+#: Shared ready-made instance of ℕ[X].
+POLYNOMIAL = polynomial_semiring()

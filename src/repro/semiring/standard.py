@@ -1,0 +1,142 @@
+"""Standard semirings used throughout the reproduction.
+
+The paper's running examples are COUNT(*)-style aggregation (ℕ, +, ×) and
+idempotent semirings for the lower bounds (boolean, tropical).  We also ship
+numeric, min/max, and bounded variants so tests can exercise algorithms over
+semirings with very different algebraic behaviour (idempotency, absence of
+inverses, non-cancellativity).
+"""
+
+from __future__ import annotations
+
+import math
+import operator
+
+from .base import Semiring
+
+__all__ = [
+    "COUNTING",
+    "REAL",
+    "BOOLEAN",
+    "TROPICAL_MIN_PLUS",
+    "TROPICAL_MAX_PLUS",
+    "MAX_MIN",
+    "MAX_TIMES",
+    "top_k_smallest",
+    "STANDARD_SEMIRINGS",
+    "IDEMPOTENT_SEMIRINGS",
+]
+
+#: Natural numbers under (+, ×): COUNT / SUM aggregation.  With all
+#: annotations set to 1 a join-aggregate query computes COUNT(*) GROUP BY y.
+COUNTING = Semiring(
+    name="counting",
+    zero=0,
+    one=1,
+    add=operator.add,
+    mul=operator.mul,
+)
+
+#: Reals under (+, ×): numeric sparse matrix multiplication.
+REAL = Semiring(
+    name="real",
+    zero=0.0,
+    one=1.0,
+    add=operator.add,
+    mul=operator.mul,
+)
+
+#: Booleans under (∨, ∧): join-project / reachability.  Idempotent.
+BOOLEAN = Semiring(
+    name="boolean",
+    zero=False,
+    one=True,
+    add=operator.or_,
+    mul=operator.and_,
+    idempotent_add=True,
+)
+
+#: (min, +) over ℝ ∪ {∞}: shortest paths.  Idempotent.
+TROPICAL_MIN_PLUS = Semiring(
+    name="tropical-min-plus",
+    zero=math.inf,
+    one=0.0,
+    add=min,
+    mul=operator.add,
+    idempotent_add=True,
+)
+
+#: (max, +) over ℝ ∪ {−∞}: longest/critical paths.  Idempotent.
+TROPICAL_MAX_PLUS = Semiring(
+    name="tropical-max-plus",
+    zero=-math.inf,
+    one=0.0,
+    add=max,
+    mul=operator.add,
+    idempotent_add=True,
+)
+
+#: (max, min) over [0, ∞]: bottleneck capacity / fuzzy joins.  Idempotent.
+MAX_MIN = Semiring(
+    name="max-min",
+    zero=0.0,
+    one=math.inf,
+    add=max,
+    mul=min,
+    idempotent_add=True,
+)
+
+#: (max, ×) over nonnegative reals: most-probable derivation (Viterbi).
+MAX_TIMES = Semiring(
+    name="max-times",
+    zero=0.0,
+    one=1.0,
+    add=max,
+    mul=operator.mul,
+    idempotent_add=True,
+)
+
+#: All ready-made semirings, for parameterized tests.
+STANDARD_SEMIRINGS = (
+    COUNTING,
+    REAL,
+    BOOLEAN,
+    TROPICAL_MIN_PLUS,
+    TROPICAL_MAX_PLUS,
+    MAX_MIN,
+    MAX_TIMES,
+)
+
+#: The idempotent subset (the class the paper's lower bounds target).
+IDEMPOTENT_SEMIRINGS = tuple(s for s in STANDARD_SEMIRINGS if s.idempotent_add)
+
+
+def top_k_smallest(k: int) -> Semiring:
+    """The k-shortest-paths semiring.
+
+    Elements are sorted tuples of ≤ k path costs; ⊕ merges two cost lists
+    keeping the k smallest, ⊗ forms all pairwise sums and keeps the k
+    smallest.  With k = 1 this degenerates to (min, +); for k ≥ 2 it is
+    *not* idempotent (two routes of equal cost are distinct), a useful
+    stress case precisely because duplicates are observable.
+
+    Use ``(cost,)`` as the annotation of a base tuple.
+    """
+    if k < 1:
+        raise ValueError("top_k_smallest needs k ≥ 1")
+
+    def add(a, b):
+        return tuple(sorted(a + b)[:k])
+
+    def mul(a, b):
+        return tuple(sorted(x + y for x in a for y in b)[:k])
+
+    return Semiring(
+        name=f"top-{k}-smallest",
+        zero=(),
+        one=(0.0,),
+        add=add,
+        mul=mul,
+        idempotent_add=False,  # (1,) ⊕ (1,) = (1, 1) for k ≥ 2
+        normalize=lambda value: tuple(sorted(value)[:k]),
+    )

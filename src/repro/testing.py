@@ -1,0 +1,196 @@
+"""Public testing utilities for downstream users.
+
+Adopters extending the library — custom semirings, new workloads, modified
+algorithms — need the same validation machinery the internal test suite
+uses.  This module productizes it:
+
+* :func:`check_semiring` — axiom spot-checks plus algebraic property
+  sampling for a custom :class:`~repro.semiring.Semiring`;
+* :func:`oracle` — the exact sequential answer for any instance;
+* :func:`compare_algorithms` — run several algorithms on one instance,
+  assert they agree with the oracle, and return their cost reports;
+* :class:`OpaqueSemiring` — an instrumentation semiring whose elements
+  refuse every operation except ⊕/⊗ through the semiring object, proving
+  an algorithm obeys the *semiring MPC model* discipline (§1.3): new
+  annotation values arise only by adding/multiplying existing ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
+
+from .core.executor import run_query
+from .data.query import Instance
+from .data.relation import Relation
+from .mpc.stats import CostReport
+from .ram.evaluate import evaluate
+from .semiring import Semiring
+
+__all__ = [
+    "check_semiring",
+    "oracle",
+    "compare_algorithms",
+    "fuzz_differential",
+    "OpaqueSemiring",
+]
+
+
+def check_semiring(semiring: Semiring, samples: Iterable[Any]) -> None:
+    """Raise :class:`~repro.semiring.SemiringError` if any semiring axiom
+    fails on the sampled elements (commutativity, associativity,
+    distributivity, identities, absorption, idempotency when claimed)."""
+    semiring.check_axioms(samples)
+
+
+def oracle(instance: Instance) -> Relation:
+    """The exact sequential answer (variable elimination on the query tree)."""
+    return evaluate(instance)
+
+
+def compare_algorithms(
+    instance: Instance,
+    p: int = 8,
+    algorithms: Sequence[str] = ("auto", "yannakakis"),
+) -> Dict[str, CostReport]:
+    """Run each algorithm, assert all results equal the oracle exactly
+    (annotations included), and return the per-algorithm cost reports."""
+    expected = oracle(instance)
+    reports: Dict[str, CostReport] = {}
+    for algorithm in algorithms:
+        result = run_query(instance, p=p, algorithm=algorithm)
+        if result.relation.tuples != expected.tuples:
+            raise AssertionError(
+                f"{algorithm!r} disagrees with the oracle: "
+                f"{len(result.relation)} vs {len(expected)} tuples"
+            )
+        reports[algorithm] = result.report
+    return reports
+
+
+class _Opaque:
+    """An annotation value that only the owning semiring can combine."""
+
+    __slots__ = ("value", "owner")
+
+    def __init__(self, value: int, owner: "OpaqueSemiring") -> None:
+        self.value = value
+        self.owner = owner
+
+    # Equality is the one operation the model allows algorithms to observe
+    # implicitly (hash-based data structures key on *tuples*, not
+    # annotations, but results are compared at the end).
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Opaque) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(("_Opaque", self.value))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"⟨{self.value}⟩"
+
+    # Every arithmetic/ordering dunder is a discipline violation.
+    def _forbidden(self, *_args):
+        raise TypeError(
+            "semiring-model violation: annotation combined outside ⊕/⊗"
+        )
+
+    __add__ = __radd__ = __mul__ = __rmul__ = _forbidden
+    __sub__ = __rsub__ = __lt__ = __le__ = __gt__ = __ge__ = _forbidden
+    __bool__ = None  # type: ignore[assignment]
+
+
+class OpaqueSemiring:
+    """Factory for an instrumented counting semiring.
+
+    ``make()`` returns ``(semiring, counters)``: the semiring computes
+    ordinary integer sums/products but wraps every element in an opaque
+    shell that raises on any arithmetic performed outside the semiring
+    object, and counts ⊕/⊗ invocations.
+    """
+
+    @staticmethod
+    def make() -> Tuple[Semiring, Dict[str, int]]:
+        counters = {"add": 0, "mul": 0}
+        semiring_box: list = []
+
+        def add(a: _Opaque, b: _Opaque) -> _Opaque:
+            counters["add"] += 1
+            return _Opaque(a.value + b.value, semiring_box[0])
+
+        def mul(a: _Opaque, b: _Opaque) -> _Opaque:
+            counters["mul"] += 1
+            return _Opaque(a.value * b.value, semiring_box[0])
+
+        semiring = Semiring(
+            name="opaque-counting",
+            zero=_Opaque(0, None),  # type: ignore[arg-type]
+            one=_Opaque(1, None),  # type: ignore[arg-type]
+            add=add,
+            mul=mul,
+        )
+        semiring_box.append(semiring)
+        return semiring, counters
+
+    @staticmethod
+    def wrap(value: int) -> _Opaque:
+        return _Opaque(value, None)  # type: ignore[arg-type]
+
+    @staticmethod
+    def unwrap(value: _Opaque) -> int:
+        return value.value
+
+
+def fuzz_differential(
+    iterations: int = 20,
+    seed: int = 0,
+    p: int = 4,
+    max_attrs: int = 6,
+    tuples: int = 12,
+    domain: int = 4,
+) -> int:
+    """Differential fuzzing: random tree queries + instances, every
+    algorithm vs the oracle.
+
+    Returns the number of instances checked; raises ``AssertionError`` on
+    the first disagreement.  Deterministic per seed — put a call with your
+    configuration into CI when extending the algorithms.
+    """
+    import random
+
+    from .semiring import COUNTING, TROPICAL_MIN_PLUS
+    from .data.query import TreeQuery
+
+    rng = random.Random(seed)
+    checked = 0
+    for _ in range(iterations):
+        m = rng.randint(2, max_attrs)
+        attrs = [f"X{i}" for i in range(m)]
+        relations = []
+        for i in range(1, m):
+            parent = attrs[rng.randrange(i)]
+            relations.append((f"R{i}", (parent, attrs[i])))
+        outputs = frozenset(a for a in attrs if rng.random() < 0.5)
+        query = TreeQuery(tuple(relations), outputs)
+        semiring, weight = rng.choice(
+            [
+                (COUNTING, lambda: rng.randint(1, 4)),
+                (TROPICAL_MIN_PLUS, lambda: float(rng.randint(0, 9))),
+            ]
+        )
+        instance_relations = {}
+        for name, pair in query.relations:
+            relation = Relation(name, pair)
+            seen = set()
+            attempts = 0
+            while len(seen) < tuples and attempts < 50 * tuples:
+                attempts += 1
+                entry = (rng.randrange(domain), rng.randrange(domain))
+                if entry not in seen:
+                    seen.add(entry)
+                    relation.add(entry, weight())
+            instance_relations[name] = relation
+        instance = Instance(query, instance_relations, semiring)
+        compare_algorithms(instance, p=p)
+        checked += 1
+    return checked

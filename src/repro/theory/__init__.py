@@ -1,0 +1,27 @@
+"""Closed-form Table 1 / lower-bound load formulas."""
+
+from .em import (
+    em_io_cost_from_mpc,
+    em_lower_bound_pagh_stockel,
+    minimal_servers_for_memory,
+    mpc_lower_bound_via_em,
+)
+from .bounds import (
+    matmul_lower_bound,
+    matmul_new_load,
+    matmul_yannakakis_load,
+    new_algorithm_load,
+    yannakakis_load,
+)
+
+__all__ = [
+    "yannakakis_load",
+    "new_algorithm_load",
+    "matmul_lower_bound",
+    "matmul_new_load",
+    "matmul_yannakakis_load",
+    "em_io_cost_from_mpc",
+    "em_lower_bound_pagh_stockel",
+    "minimal_servers_for_memory",
+    "mpc_lower_bound_via_em",
+]

@@ -1,0 +1,74 @@
+"""Closed-form load bounds of Table 1 (both columns) and the §3.3 lower
+bounds.
+
+These are the *shapes* the benchmarks compare measured loads against.  All
+functions return "expected load in tuples" without hidden constants — the
+benchmark harness fits/compares ratios, never absolute equality.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "yannakakis_load",
+    "new_algorithm_load",
+    "matmul_lower_bound",
+    "matmul_new_load",
+    "matmul_yannakakis_load",
+]
+
+
+def matmul_yannakakis_load(n: float, out: float, p: int) -> float:
+    """Baseline for matrix multiplication: O(N/p + N·√OUT/p) [2, 15]."""
+    return n / p + n * math.sqrt(max(out, 1.0)) / p
+
+
+def matmul_new_load(n1: float, n2: float, out: float, p: int) -> float:
+    """Theorem 1: O((N1+N2)/p + min(√(N1N2)/√p, (N1N2)^{1/3}OUT^{1/3}/p^{2/3}))."""
+    balanced = math.sqrt(n1 * n2 / p)
+    sensitive = (n1 * n2 * max(out, 1.0)) ** (1.0 / 3.0) / p ** (2.0 / 3.0)
+    return (n1 + n2) / p + min(balanced, sensitive)
+
+
+def matmul_lower_bound(n1: float, n2: float, out: float, p: int) -> float:
+    """Theorems 2–3: Ω((N1+N2)/p + min(√(N1N2/p), (N1N2·OUT)^{1/3}/p^{2/3}))."""
+    return max(
+        (n1 + n2) / p,
+        min(
+            math.sqrt(n1 * n2 / p),
+            (n1 * n2 * max(out, 1.0)) ** (1.0 / 3.0) / p ** (2.0 / 3.0),
+        ),
+    )
+
+
+def yannakakis_load(query_class: str, n: float, out: float, p: int, arms: int = 3) -> float:
+    """First column of Table 1 (baseline loads)."""
+    out = max(out, 1.0)
+    if query_class in ("free-connex",):
+        return (n + out) / p
+    if query_class == "matmul":
+        return matmul_yannakakis_load(n, out, p)
+    if query_class == "star":
+        return n / p + n * out ** (1.0 - 1.0 / arms) / p
+    if query_class in ("line", "tree", "twig", "star-like"):
+        return n / p + n * out / p
+    raise ValueError(f"unknown query class {query_class!r}")
+
+
+def new_algorithm_load(query_class: str, n: float, out: float, p: int, arms: int = 3) -> float:
+    """Second column of Table 1 (this paper's loads)."""
+    out = max(out, 1.0)
+    if query_class == "free-connex":
+        return (n + out) / p
+    if query_class == "matmul":
+        return matmul_new_load(n, n, out, p)
+    if query_class in ("star", "line", "star-like"):
+        return (
+            (n * out / p) ** (2.0 / 3.0)
+            + n * math.sqrt(out) / p
+            + (n + out) / p
+        )
+    if query_class in ("tree", "twig"):
+        return n * out ** (2.0 / 3.0) / p + (n + out) / p
+    raise ValueError(f"unknown query class {query_class!r}")

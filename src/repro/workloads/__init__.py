@@ -1,0 +1,43 @@
+"""Workload generators for examples, tests, and benchmark sweeps."""
+
+from .generators import (
+    bowtie_line,
+    caterpillar_instance,
+    overlapping_star,
+    line_instance,
+    planted_out_line,
+    planted_out_star,
+    random_binary_relation,
+    star_instance,
+    starlike_instance,
+    twig_instance,
+)
+from .graphs import grid_road_network, power_law_edges, two_relation_copies
+from .matrices import (
+    MATMUL_QUERY,
+    planted_out_matmul,
+    random_sparse_matmul,
+    random_sparse_matrix,
+    zipf_matmul,
+)
+
+__all__ = [
+    "MATMUL_QUERY",
+    "random_sparse_matrix",
+    "random_sparse_matmul",
+    "planted_out_matmul",
+    "zipf_matmul",
+    "bowtie_line",
+    "caterpillar_instance",
+    "overlapping_star",
+    "line_instance",
+    "star_instance",
+    "starlike_instance",
+    "twig_instance",
+    "planted_out_line",
+    "planted_out_star",
+    "random_binary_relation",
+    "power_law_edges",
+    "grid_road_network",
+    "two_relation_copies",
+]

@@ -1,0 +1,308 @@
+"""Instance generators for line, star, star-like, and tree query families.
+
+Random families are parameterized by relation size and per-attribute domain
+sizes (which indirectly control OUT); planted families fix OUT by
+construction for clean benchmark sweeps.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..data.query import Instance, TreeQuery
+from ..data.relation import Relation
+from ..semiring import COUNTING, Semiring
+
+__all__ = [
+    "bowtie_line",
+    "caterpillar_instance",
+    "overlapping_star",
+    "line_instance",
+    "star_instance",
+    "starlike_instance",
+    "twig_instance",
+    "planted_out_line",
+    "planted_out_star",
+    "random_binary_relation",
+]
+
+
+def random_binary_relation(
+    name: str,
+    schema: Tuple[str, str],
+    tuples: int,
+    left_domain: int,
+    right_domain: int,
+    rng: random.Random,
+    weight_fn: Optional[Callable[[], object]] = None,
+) -> Relation:
+    """A relation of ``tuples`` distinct uniform entries over the domains."""
+    weight_fn = weight_fn or (lambda: 1)
+    if tuples > left_domain * right_domain:
+        raise ValueError("more tuples than cells")
+    relation = Relation(name, schema)
+    seen = set()
+    while len(seen) < tuples:
+        entry = (rng.randrange(left_domain), rng.randrange(right_domain))
+        if entry not in seen:
+            seen.add(entry)
+            relation.add(entry, weight_fn())
+    return relation
+
+
+def line_instance(
+    length: int,
+    tuples: int,
+    domain: int,
+    seed: int = 0,
+    semiring: Semiring = COUNTING,
+    weight_fn: Optional[Callable[[], object]] = None,
+) -> Instance:
+    """Line query over ``length`` relations A1—A2—…—A_{length+1}."""
+    rng = random.Random(seed)
+    attrs = [f"A{i+1}" for i in range(length + 1)]
+    specs = tuple((f"R{i+1}", (attrs[i], attrs[i + 1])) for i in range(length))
+    relations = {
+        name: random_binary_relation(name, pair, tuples, domain, domain, rng, weight_fn)
+        for name, pair in specs
+    }
+    query = TreeQuery(specs, frozenset({attrs[0], attrs[-1]}))
+    return Instance(query, relations, semiring)
+
+
+def star_instance(
+    arms: int,
+    tuples: int,
+    arm_domain: int,
+    centre_domain: int,
+    seed: int = 0,
+    semiring: Semiring = COUNTING,
+    weight_fn: Optional[Callable[[], object]] = None,
+) -> Instance:
+    """Star query ∑_B R1(A1,B) ⋈ … ⋈ R_arms(A_arms,B)."""
+    rng = random.Random(seed)
+    specs = tuple((f"R{i+1}", (f"A{i+1}", "B")) for i in range(arms))
+    relations = {
+        name: random_binary_relation(
+            name, pair, tuples, arm_domain, centre_domain, rng, weight_fn
+        )
+        for name, pair in specs
+    }
+    query = TreeQuery(specs, frozenset(f"A{i+1}" for i in range(arms)))
+    return Instance(query, relations, semiring)
+
+
+def starlike_instance(
+    arm_lengths: Sequence[int],
+    tuples: int,
+    domain: int,
+    seed: int = 0,
+    semiring: Semiring = COUNTING,
+    weight_fn: Optional[Callable[[], object]] = None,
+) -> Instance:
+    """Star-like query: arm i is a path of ``arm_lengths[i]`` relations from
+    the shared centre B to the output attribute A_i."""
+    rng = random.Random(seed)
+    specs: List[Tuple[str, Tuple[str, str]]] = []
+    relations: Dict[str, Relation] = {}
+    outputs = []
+    for arm_index, length in enumerate(arm_lengths):
+        previous = "B"
+        for step in range(length):
+            is_last = step == length - 1
+            attr = f"A{arm_index+1}" if is_last else f"C{arm_index+1}_{step+1}"
+            name = f"R{arm_index+1}_{step+1}"
+            specs.append((name, (previous, attr)))
+            relations[name] = random_binary_relation(
+                name, (previous, attr), tuples, domain, domain, rng, weight_fn
+            )
+            previous = attr
+        outputs.append(f"A{arm_index+1}")
+    query = TreeQuery(tuple(specs), frozenset(outputs))
+    return Instance(query, relations, semiring)
+
+
+def twig_instance(
+    tuples: int,
+    domain: int,
+    seed: int = 0,
+    semiring: Semiring = COUNTING,
+    weight_fn: Optional[Callable[[], object]] = None,
+    bridge_length: int = 1,
+) -> Instance:
+    """The Figure-3 shape: two high-degree attributes B1, B2, two output
+    arms on each, connected by a bridge of ``bridge_length`` relations."""
+    rng = random.Random(seed)
+    specs: List[Tuple[str, Tuple[str, str]]] = [
+        ("Ra1", ("A1", "B1")),
+        ("Ra2", ("A2", "B1")),
+        ("Rb1", ("A3", "B2")),
+        ("Rb2", ("A4", "B2")),
+    ]
+    previous = "B1"
+    for step in range(bridge_length):
+        attr = "B2" if step == bridge_length - 1 else f"K{step+1}"
+        specs.append((f"Rm{step+1}", (previous, attr)))
+        previous = attr
+    relations = {
+        name: random_binary_relation(name, pair, tuples, domain, domain, rng, weight_fn)
+        for name, pair in specs
+    }
+    query = TreeQuery(tuple(specs), frozenset({"A1", "A2", "A3", "A4"}))
+    return Instance(query, relations, semiring)
+
+
+def planted_out_line(
+    length: int,
+    n: int,
+    out: int,
+    semiring: Semiring = COUNTING,
+    weight_fn: Optional[Callable[[], object]] = None,
+) -> Instance:
+    """Line instance with OUT ≈ ``out`` planted via k disjoint chains of
+    ``d × d`` end-rectangles (OUT = k·d², N per relation ≈ n)."""
+    if not n <= out <= n * n:
+        raise ValueError("planted family needs N ≤ OUT ≤ N²")
+    weight_fn = weight_fn or (lambda: 1)
+    k = max(1, min(n, round(n * n / out)))
+    attrs = [f"A{i+1}" for i in range(length + 1)]
+    specs = tuple((f"R{i+1}", (attrs[i], attrs[i + 1])) for i in range(length))
+    relations = {name: Relation(name, pair) for name, pair in specs}
+    for block in range(k):
+        width = n // k + (1 if block < n % k else 0)
+        if width == 0:
+            continue
+        first, last = specs[0][0], specs[-1][0]
+        for i in range(width):
+            relations[first].add(((f"a{block}_{i}"), (f"m1_{block}")), weight_fn())
+            relations[last].add(((f"m{length-1}_{block}"), (f"z{block}_{i}")), weight_fn())
+        for middle in range(1, length - 1):
+            relations[specs[middle][0]].add(
+                ((f"m{middle}_{block}"), (f"m{middle+1}_{block}")), weight_fn()
+            )
+    return Instance(
+        TreeQuery(specs, frozenset({attrs[0], attrs[-1]})), relations, semiring
+    )
+
+
+def planted_out_star(
+    arms: int,
+    n: int,
+    out: int,
+    semiring: Semiring = COUNTING,
+    weight_fn: Optional[Callable[[], object]] = None,
+) -> Instance:
+    """Star instance with OUT ≈ ``out``: k centre values, each joined by a
+    private set of d = N/k values per arm, so OUT = k·d^arms = n^arms/k^{arms−1}
+    and therefore k = (n^arms/out)^{1/(arms−1)}."""
+    weight_fn = weight_fn or (lambda: 1)
+    if out >= n ** arms:
+        k = 1
+    else:
+        k = max(1, round((n ** arms / out) ** (1.0 / (arms - 1))))
+    k = min(k, n)
+    d = max(1, n // k)
+    specs = tuple((f"R{i+1}", (f"A{i+1}", "B")) for i in range(arms))
+    relations = {name: Relation(name, pair) for name, pair in specs}
+    for block in range(k):
+        for i in range(d):
+            for arm in range(arms):
+                relations[specs[arm][0]].add(
+                    ((f"v{arm}_{block}_{i}"), (f"b{block}")), weight_fn()
+                )
+    query = TreeQuery(specs, frozenset(f"A{i+1}" for i in range(arms)))
+    return Instance(query, relations, semiring)
+
+
+def bowtie_line(
+    blocks: int,
+    fan_out: int,
+    fan_mid: int,
+    semiring: Semiring = COUNTING,
+    weight_fn: Optional[Callable[[], object]] = None,
+) -> Instance:
+    """A length-3 line family where Yannakakis is provably bad.
+
+    Each block is an hourglass: ``fan_out`` A1 values → one A2 value →
+    ``fan_mid`` A3 values → one A4 value.  The intermediate join
+    ``R1 ⋈ R2`` has size blocks·fan_out·fan_mid while
+    OUT = blocks·fan_out — so J/OUT = fan_mid, the gap the §4 algorithm
+    closes (it aggregates A3 away *before* touching the fat side).
+    """
+    weight_fn = weight_fn or (lambda: 1)
+    specs = (
+        ("R1", ("A1", "A2")),
+        ("R2", ("A2", "A3")),
+        ("R3", ("A3", "A4")),
+    )
+    relations = {name: Relation(name, pair) for name, pair in specs}
+    for block in range(blocks):
+        hub = f"h{block}"
+        for i in range(fan_out):
+            relations["R1"].add((f"a{block}_{i}", hub), weight_fn())
+        for j in range(fan_mid):
+            mid = f"m{block}_{j}"
+            relations["R2"].add((hub, mid), weight_fn())
+            relations["R3"].add((mid, f"z{block}"), weight_fn())
+    query = TreeQuery(specs, frozenset({"A1", "A4"}))
+    return Instance(query, relations, semiring)
+
+
+def overlapping_star(
+    arms: int,
+    centres: int,
+    fan: int,
+    semiring: Semiring = COUNTING,
+    weight_fn: Optional[Callable[[], object]] = None,
+) -> Instance:
+    """A star family with full join ≫ OUT.
+
+    Every centre value joins the *same* ``fan`` values on each arm, so the
+    full join has centres·fan^arms results but only fan^arms distinct
+    output combinations — the baseline shuffles the full join while §5
+    aggregates the duplicated centres away.
+    """
+    weight_fn = weight_fn or (lambda: 1)
+    specs = tuple((f"R{i+1}", (f"A{i+1}", "B")) for i in range(arms))
+    relations = {name: Relation(name, pair) for name, pair in specs}
+    for centre in range(centres):
+        for arm in range(arms):
+            for i in range(fan):
+                relations[specs[arm][0]].add((f"v{arm}_{i}", f"b{centre}"), weight_fn())
+    query = TreeQuery(specs, frozenset(f"A{i+1}" for i in range(arms)))
+    return Instance(query, relations, semiring)
+
+
+def caterpillar_instance(
+    spine: int,
+    legs_per_hub: int,
+    tuples: int,
+    domain: int,
+    seed: int = 0,
+    semiring: Semiring = COUNTING,
+    weight_fn: Optional[Callable[[], object]] = None,
+) -> Instance:
+    """A caterpillar twig: a spine of non-output hubs B0—B1—…—B_{spine−1},
+    each carrying ``legs_per_hub`` output legs.
+
+    With spine ≥ 2 and ≥ 2 legs per hub this is the general-twig shape of
+    §7.1 with ``spine`` high-degree attributes — the stress family for the
+    skeleton divide & conquer (Figure 3 is spine = 2, legs = 2).
+    """
+    rng = random.Random(seed)
+    specs: List[Tuple[str, Tuple[str, str]]] = []
+    outputs: List[str] = []
+    for i in range(spine - 1):
+        specs.append((f"S{i}", (f"B{i}", f"B{i+1}")))
+    for i in range(spine):
+        for leg in range(legs_per_hub):
+            attr = f"L{i}_{leg}"
+            specs.append((f"R{i}_{leg}", (attr, f"B{i}")))
+            outputs.append(attr)
+    relations = {
+        name: random_binary_relation(name, pair, tuples, domain, domain, rng, weight_fn)
+        for name, pair in specs
+    }
+    query = TreeQuery(tuple(specs), frozenset(outputs))
+    return Instance(query, relations, semiring)

@@ -1,0 +1,72 @@
+"""Graph-shaped workloads used by the examples.
+
+A directed graph's edge set is exactly a binary relation ``E(u, v)``;
+two-hop counting, reachability, and shortest paths all become the paper's
+join-aggregate queries over it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional, Tuple
+
+from ..data.relation import Relation
+
+__all__ = ["power_law_edges", "grid_road_network", "two_relation_copies"]
+
+
+def power_law_edges(
+    name: str,
+    schema: Tuple[str, str],
+    nodes: int,
+    edges: int,
+    alpha: float = 1.1,
+    seed: int = 0,
+    weight_fn: Optional[Callable[[], object]] = None,
+) -> Relation:
+    """A social-network-style edge relation: target popularity is Zipfian,
+    so a few celebrities have huge in-degree (the skew that breaks naive
+    hash partitioning)."""
+    rng = random.Random(seed)
+    weight_fn = weight_fn or (lambda: 1)
+    weights = [1.0 / (rank + 1) ** alpha for rank in range(nodes)]
+    total = sum(weights)
+    probabilities = [w / total for w in weights]
+    relation = Relation(name, schema)
+    seen = set()
+    while len(seen) < edges:
+        source = rng.randrange(nodes)
+        target = rng.choices(range(nodes), probabilities)[0]
+        if source != target and (source, target) not in seen:
+            seen.add((source, target))
+            relation.add((source, target), weight_fn())
+    return relation
+
+
+def grid_road_network(
+    name: str,
+    schema: Tuple[str, str],
+    side: int,
+    seed: int = 0,
+    max_cost: int = 10,
+) -> Relation:
+    """A ``side × side`` grid of road segments with random positive costs
+    (for tropical/min-plus shortest-hop examples).  Nodes are (x, y) pairs."""
+    rng = random.Random(seed)
+    relation = Relation(name, schema)
+    for x in range(side):
+        for y in range(side):
+            for dx, dy in ((1, 0), (0, 1)):
+                nx, ny = x + dx, y + dy
+                if nx < side and ny < side:
+                    cost = float(rng.randint(1, max_cost))
+                    relation.add(((x, y), (nx, ny)), cost)
+                    relation.add(((nx, ny), (x, y)), cost)
+    return relation
+
+
+def two_relation_copies(edges: Relation, first: Tuple[str, str], second: Tuple[str, str]):
+    """Rename one edge relation into the two copies a 2-hop query needs."""
+    r1 = Relation("R1", first, list(edges))
+    r2 = Relation("R2", second, list(edges))
+    return r1, r2

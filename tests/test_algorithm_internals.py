@@ -1,0 +1,157 @@
+"""White-box tests of algorithm building blocks (§4–§7 internals)."""
+
+import random
+
+import pytest
+
+from repro.core.arms import extract_arms
+from repro.core.matmul_output_sensitive import linear_sparse_mm
+from repro.core.star import binarize, join_group_on_centre, unpack_pairs
+from repro.core.starlike import arm_reach_estimates, shrink_arm
+from repro.core.tree import _Context, _branch_x_table, _estimate_out_tree
+from repro.data import DistRelation, Instance, Relation, TreeQuery
+from repro.data.treeops import skeleton_info
+from repro.mpc import MPCCluster
+from repro.ram import evaluate
+from repro.semiring import COUNTING
+from tests.conftest import TWIG_QUERY, random_instance
+
+
+def test_shrink_arm_matches_line_oracle():
+    # Arm B — C — A: shrinking must compute Σ_C R1(B,C) ⋈ R2(C,A).
+    rng = random.Random(1)
+    query = TreeQuery(
+        (("R1", ("B", "C")), ("R2", ("C", "A"))), frozenset({"B", "A"})
+    )
+    instance = random_instance(query, 40, 8, rng, COUNTING, lambda r: r.randint(1, 4))
+    cluster = MPCCluster(6)
+    view = cluster.view()
+    relations = {
+        name: DistRelation.load(view, instance.relation(name))
+        for name, _ in query.relations
+    }
+    arm = [("R1", "B", "C"), ("R2", "C", "A")]
+    shrunk = shrink_arm(arm, relations, COUNTING, salt=0)
+    assert shrunk.schema == ("B", "A")
+    want = evaluate(instance)  # schema sorted: (A, B)
+    got = {(b, a): w for (b, a), w in shrunk.data.collect()}
+    assert got == {(b, a): w for (a, b), w in want.tuples.items()}
+
+
+def test_join_group_on_centre_is_full_join():
+    r1 = Relation("R1", ("A1", "B"), [((0, 0), 2), ((1, 0), 3), ((2, 1), 5)])
+    r2 = Relation("R2", ("A2", "B"), [((7, 0), 11), ((8, 1), 13)])
+    cluster = MPCCluster(4)
+    view = cluster.view()
+    joined, attrs = join_group_on_centre(
+        [DistRelation.load(view, r1), DistRelation.load(view, r2)],
+        ["A1", "A2"], "B", COUNTING, salt=0,
+    )
+    assert attrs == ("A1", "A2")
+    assert joined.schema == ("A1", "A2", "B")
+    got = dict(joined.data.collect())
+    assert got == {
+        (0, 7, 0): 22, (1, 7, 0): 33, (2, 8, 1): 65,
+    }
+
+
+def test_binarize_unpack_roundtrip():
+    relation = Relation(
+        "R", ("A1", "A2", "B"), [((0, 7, 0), 22), ((2, 8, 1), 65)]
+    )
+    cluster = MPCCluster(2)
+    dist = DistRelation.load(cluster.view(), relation)
+    combined = binarize(dist, ("A1", "A2"), "__c", "B")
+    assert combined.schema == ("__c", "B")
+    assert dict(combined.data.collect()) == {
+        ((0, 7), 0): 22, ((2, 8), 1): 65,
+    }
+    # unpack a fake matmul result pairing combined columns.
+    product = DistRelation(
+        ("__l", "__r"),
+        combined.data.map_items(lambda item: ((item[0][0], ("z",)), item[1])),
+    )
+    flat = unpack_pairs(product, ("A1", "A2"), ("Z",), ("A1", "A2", "Z"))
+    assert dict(flat.collect()) == {(0, 7, "z"): 22, (2, 8, "z"): 65}
+
+
+def test_arm_reach_estimates_single_relation_exact():
+    relation = Relation(
+        "R", ("B", "A"), [((0, i), 1) for i in range(5)] + [((1, 0), 1)]
+    )
+    cluster = MPCCluster(3)
+    view = cluster.view()
+    table = arm_reach_estimates(
+        [("R", "B", "A")], {"R": DistRelation.load(view, relation)}, salt=0
+    )
+    assert dict(table.collect()) == {0: 5.0, 1: 1.0}
+
+
+def test_branch_x_table_multiplies_arms():
+    # T_B with two single-relation arms of degrees (2, 3) at b=0.
+    branch = TreeQuery(
+        (("Ra", ("A1", "B")), ("Rb", ("A2", "B"))), frozenset({"A1", "A2"})
+    )
+    ra = Relation("Ra", ("A1", "B"), [((i, 0), 1) for i in range(2)])
+    rb = Relation("Rb", ("A2", "B"), [((i, 0), 1) for i in range(3)])
+    cluster = MPCCluster(3)
+    view = cluster.view()
+    ctx = _Context(semiring=COUNTING)
+    table = _branch_x_table(
+        branch, "B",
+        {"Ra": DistRelation.load(view, ra), "Rb": DistRelation.load(view, rb)},
+        ctx,
+    )
+    assert dict(table.collect()) == {0: 6.0}
+
+
+def test_estimate_out_tree_max_product_semantics():
+    # Skeleton: B1 — B2 (one bridge edge).  x(B2) known; y(B1) must be
+    # max over joined b2 of x(b2).
+    rng = random.Random(3)
+    instance = random_instance(TWIG_QUERY, 18, 4, rng, COUNTING, lambda r: 1)
+    cluster = MPCCluster(4)
+    view = cluster.view()
+    relations = {
+        name: DistRelation.load(view, instance.relation(name))
+        for name, _ in TWIG_QUERY.relations
+    }
+    info = skeleton_info(TWIG_QUERY)
+    ctx = _Context(semiring=COUNTING)
+    x_tables = {
+        root: _branch_x_table(info.branches[root], root, relations, ctx)
+        for root in info.branch_roots
+    }
+    y_b1 = dict(_estimate_out_tree("B1", info, x_tables, relations, ctx).collect())
+    x_b2 = dict(x_tables["B2"].collect())
+    bridge = instance.relation("Rm")
+    for (b1, b2), _w in bridge:
+        if b1 in y_b1 and b2 in x_b2:
+            assert y_b1[b1] >= x_b2[b2] - 1e-9  # max over children ≥ each child
+
+
+def test_linear_sparse_mm_load_in_its_regime():
+    # OUT ≤ N/p: the regime where LinearSparseMM promises O(N/p).
+    n, p = 1600, 16
+    r1 = Relation("R1", ("A", "B"), [((i, i), 1) for i in range(n)])
+    r2 = Relation("R2", ("B", "C"), [((i, i), 1) for i in range(n)])
+    # OUT = n — too big; shrink output by mapping C to n/p classes:
+    r2 = Relation("R2", ("B", "C"), [((i, i % (n // (2 * p))), 1) for i in range(n)])
+    instance = Instance(
+        TreeQuery((("R1", ("A", "B")), ("R2", ("B", "C"))), frozenset({"A", "C"})),
+        {"R1": r1, "R2": r2},
+        COUNTING,
+    )
+    cluster = MPCCluster(p)
+    view = cluster.view()
+    result = linear_sparse_mm(
+        DistRelation.load(view, r1), DistRelation.load(view, r2), COUNTING
+    )
+    assert dict(result.data.collect()) == dict(evaluate(instance).tuples)
+    assert cluster.report().max_load <= 6 * (2 * n) / p + 4 * p
+
+
+def test_extract_arms_on_branch_components():
+    info = skeleton_info(TWIG_QUERY)
+    arms = extract_arms(info.branches["B1"], "B1")
+    assert [arm[-1][2] for arm in arms] == ["A1", "A2"]

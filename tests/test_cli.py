@@ -1,0 +1,65 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_compare_runs_and_reports(capsys):
+    code = main(["compare", "--family", "matmul", "--tuples", "120",
+                 "--out", "600", "--p", "4"])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "load speedup" in captured.out
+    assert "distributed Yannakakis" in captured.out
+
+
+@pytest.mark.parametrize(
+    "family", ["line", "line-bowtie", "star", "star-overlap", "starlike", "twig",
+               "matmul-zipf"]
+)
+def test_compare_all_families(capsys, family):
+    code = main(["compare", "--family", family, "--tuples", "60",
+                 "--domain", "8", "--p", "4"])
+    captured = capsys.readouterr()
+    assert code == 0, captured.out
+    assert "OUT=" in captured.out
+
+
+def test_sweep(capsys):
+    code = main(["sweep", "--tuples", "100", "--points", "2", "--p", "4"])
+    captured = capsys.readouterr()
+    assert code == 0
+    lines = [line for line in captured.out.splitlines() if line.strip()]
+    assert len(lines) == 3  # header + 2 points
+
+
+def test_sweep_rejects_other_families(capsys):
+    code = main(["sweep", "--family", "star", "--tuples", "50"])
+    assert code == 2
+
+
+def test_unknown_family_rejected():
+    with pytest.raises(SystemExit):
+        main(["compare", "--family", "nope"])
+
+
+def test_table1(capsys):
+    code = main(["table1", "--scale", "100", "--p", "4"])
+    captured = capsys.readouterr()
+    assert code == 0
+    for label in ("matmul", "line", "star", "tree"):
+        assert label in captured.out
+
+
+def test_reporting_module():
+    from repro.reporting import render_markdown, table1_report
+
+    rows = table1_report(scale=80, p=4)
+    assert [row.label for row in rows] == ["matmul", "line", "star", "tree"]
+    for row in rows:
+        assert row.baseline_load > 0 and row.new_load > 0
+        assert row.speedup == row.baseline_load / row.new_load
+    markdown = render_markdown(rows)
+    assert markdown.count("\n") == len(rows) + 1
+    assert "| matmul |" in markdown

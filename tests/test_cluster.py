@@ -1,0 +1,194 @@
+"""MPC cluster simulator: routing, metering, views, parallel scheduling."""
+
+import pytest
+
+from repro.mpc import AllocationError, MPCCluster, RoutingError
+from repro.mpc.stats import LoadTracker
+
+
+def test_exchange_delivers_and_charges():
+    cluster = MPCCluster(4)
+    view = cluster.view()
+    outboxes = [[(1, "a"), (2, "b")], [(1, "c")], [], [(0, "d")]]
+    inboxes = view.exchange(outboxes)
+    assert inboxes == [["d"], ["a", "c"], ["b"], []]
+    report = cluster.report()
+    assert report.max_load == 2  # server 1 received two items
+    assert report.total_communication == 4
+    assert report.rounds == 1
+
+
+def test_exchange_rejects_bad_destination():
+    view = MPCCluster(2).view()
+    with pytest.raises(RoutingError):
+        view.exchange([[(5, "x")], []])
+
+
+def test_exchange_requires_all_outboxes():
+    view = MPCCluster(3).view()
+    with pytest.raises(RoutingError):
+        view.exchange([[]])
+
+
+def test_broadcast_charges_every_server():
+    cluster = MPCCluster(3)
+    view = cluster.view()
+    everything = view.broadcast([["a"], ["b"], []])
+    assert everything == ["a", "b"]
+    assert cluster.report().max_load == 2
+    assert cluster.report().total_communication == 6
+
+
+def test_gather_brings_items_to_one_server():
+    cluster = MPCCluster(3)
+    view = cluster.view()
+    items = view.gather([["a"], ["b", "c"], []], dest=1)
+    assert sorted(items) == ["a", "b", "c"]
+    assert cluster.report().max_load == 3
+
+
+def test_control_channel_is_separate():
+    cluster = MPCCluster(4)
+    view = cluster.view()
+    view.control_gather([1, 2, 3, 4])
+    view.control_scatter(2)
+    report = cluster.report()
+    assert report.max_load == 0
+    assert report.control_messages == 4 + 2 * 4
+
+
+def test_subview_shares_tracker_and_round_cursor():
+    cluster = MPCCluster(6)
+    view = cluster.view()
+    view.exchange([[(0, "x")]] + [[] for _ in range(5)])
+    sub = view.subview([2, 3])
+    assert sub.p == 2
+    assert sub.round == view.round
+    sub.exchange([[(1, "y")], []])
+    # Charged against global server id 3.
+    assert cluster.report().total_communication == 2
+
+
+def test_split_covers_all_servers_disjointly():
+    view = MPCCluster(10).view()
+    parts = view.split(3)
+    servers = [s for sub in parts for s in sub.servers]
+    assert sorted(servers) == list(range(10))
+    assert len(parts) == 3
+
+
+def test_split_clamps_groups():
+    view = MPCCluster(2).view()
+    parts = view.split(5)
+    assert len(parts) == 2
+
+
+def test_run_parallel_merges_rounds():
+    cluster = MPCCluster(8)
+    view = cluster.view()
+
+    def deep(branch):
+        for _ in range(3):
+            branch.exchange([[] for _ in range(branch.p)])
+        return "deep"
+
+    def shallow(branch):
+        branch.exchange([[] for _ in range(branch.p)])
+        return "shallow"
+
+    results = view.run_parallel([deep, shallow], sizes=[4, 4])
+    assert results == ["deep", "shallow"]
+    # Parallel branches share rounds: total rounds = max(3, 1) = 3.
+    assert view.round == 3
+
+
+def test_run_parallel_waves_when_oversubscribed():
+    cluster = MPCCluster(2)
+    view = cluster.view()
+
+    def one_round(branch):
+        branch.exchange([[] for _ in range(branch.p)])
+        return branch.servers
+
+    results = view.run_parallel([one_round] * 4, sizes=[1, 1, 1, 1])
+    assert len(results) == 4
+    # 4 tasks of width 1 on 2 servers → 2 waves → 2 rounds.
+    assert view.round == 2
+
+
+def test_run_parallel_validates_sizes():
+    view = MPCCluster(2).view()
+    with pytest.raises(AllocationError):
+        view.run_parallel([lambda b: None], sizes=[1, 2])
+
+
+def test_single_server_cluster_works():
+    cluster = MPCCluster(1)
+    view = cluster.view()
+    inboxes = view.exchange([[(0, "x"), (0, "y")]])
+    assert inboxes == [["x", "y"]]
+
+
+def test_cluster_requires_servers():
+    with pytest.raises(ValueError):
+        MPCCluster(0)
+
+
+def test_tracker_phases():
+    tracker = LoadTracker()
+    tracker.push_phase("alpha")
+    tracker.record_receive(0, 0, 5)
+    tracker.pop_phase()
+    tracker.push_phase("beta")
+    tracker.record_receive(1, 1, 2)
+    tracker.pop_phase()
+    report = tracker.report()
+    assert ("alpha", 5) in report.phases
+    assert ("beta", 2) in report.phases
+
+
+def test_tracker_rejects_negative_counts():
+    tracker = LoadTracker()
+    with pytest.raises(ValueError):
+        tracker.record_receive(0, 0, -1)
+
+
+def test_per_round_loads():
+    tracker = LoadTracker()
+    tracker.record_receive(0, 0, 3)
+    tracker.record_receive(2, 1, 7)
+    assert tracker.per_round_loads() == [3, 0, 7]
+    assert tracker.rounds == 3
+
+
+def test_phase_context_manager():
+    tracker = LoadTracker()
+    with tracker.phase("outer"):
+        tracker.record_receive(0, 0, 4)
+        with tracker.phase("inner"):
+            tracker.record_receive(1, 1, 9)
+    phases = dict(tracker.report().phases)
+    assert phases["inner"] == 9
+    assert phases["outer"] == 9  # max over its whole span
+
+
+def test_phase_survives_exceptions():
+    tracker = LoadTracker()
+    try:
+        with tracker.phase("boom"):
+            raise RuntimeError("x")
+    except RuntimeError:
+        pass
+    # Stack unwound; a later phase still records cleanly.
+    with tracker.phase("after"):
+        tracker.record_receive(0, 0, 2)
+    assert dict(tracker.report().phases) == {"after": 2}
+
+
+def test_algorithm_reports_include_phases():
+    from repro import run_query
+    from repro.workloads import planted_out_matmul
+
+    result = run_query(planted_out_matmul(n=150, out=9000), p=4)
+    labels = [label for label, _load in result.report.phases]
+    assert any(label.startswith("matmul-wc/") for label in labels)

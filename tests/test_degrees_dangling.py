@@ -1,0 +1,125 @@
+"""Degree statistics, key-table attachment, and dangling-tuple removal."""
+
+import random
+
+from repro.data import DistRelation, Instance, Relation
+from repro.mpc import Distributed, MPCCluster
+from repro.primitives import (
+    attach_by_key,
+    degree_table,
+    elimination_order,
+    lookup_table,
+    remove_dangling,
+)
+from repro.ram import evaluate, semijoin_reduce
+from repro.semiring import COUNTING
+from tests.conftest import (
+    GENERAL_TREE_QUERY,
+    LINE3_QUERY,
+    MATMUL_QUERY,
+    STAR3_QUERY,
+    TWIG_QUERY,
+    random_instance,
+)
+
+
+def test_degree_table_matches_oracle():
+    rng = random.Random(1)
+    relation = Relation("R", ("A", "B"))
+    for _ in range(100):
+        entry = (rng.randint(0, 10), rng.randint(0, 10))
+        if entry not in relation:
+            relation.add(entry, 1)
+    cluster = MPCCluster(5)
+    dist = DistRelation.load(cluster.view(), relation)
+    table = degree_table(dist.data, dist.key_fn(("A",)))
+    expected = {
+        (a,): relation.degree("A", a) for a in relation.active_domain("A")
+    }
+    assert dict(table.collect()) == expected
+
+
+def test_attach_by_key_defaults():
+    cluster = MPCCluster(3)
+    view = cluster.view()
+    items = Distributed.from_items(view, ["a", "b", "c"])
+    table = Distributed.from_items(view, [("a", 1), ("c", 3)])
+    tagged = attach_by_key(items, table, lambda x: x, default="missing")
+    assert dict(tagged.collect()) == {"a": 1, "b": "missing", "c": 3}
+
+
+def test_lookup_table_charges_control():
+    cluster = MPCCluster(3)
+    table = Distributed.from_items(cluster.view(), [("k", 1), ("l", 2)])
+    result = lookup_table(table)
+    assert result == {"k": 1, "l": 2}
+    assert cluster.report().control_messages >= 2
+    assert cluster.report().max_load == 0
+
+
+def test_elimination_order_touches_every_relation_once():
+    for query in (MATMUL_QUERY, LINE3_QUERY, STAR3_QUERY, TWIG_QUERY, GENERAL_TREE_QUERY):
+        order = elimination_order(query)
+        assert len(order) == query.n - 1
+        removed = [leaf for leaf, _host in order]
+        assert len(set(removed)) == len(removed)
+        # Hosts must still be alive when used.
+        alive = {name for name, _ in query.relations}
+        for leaf, host in order:
+            assert leaf in alive and host in alive
+            alive.discard(leaf)
+
+
+def test_remove_dangling_matches_ram_semijoin_reduce():
+    rng = random.Random(2)
+    for query in (MATMUL_QUERY, LINE3_QUERY, STAR3_QUERY, GENERAL_TREE_QUERY):
+        instance = random_instance(
+            query, tuples=50, domain=6, rng=rng, semiring=COUNTING,
+            weight_sampler=lambda r: 1,
+        )
+        expected = semijoin_reduce(instance)
+        cluster = MPCCluster(6)
+        view = cluster.view()
+        loaded = {
+            name: DistRelation.load(view, instance.relation(name))
+            for name, _ in query.relations
+        }
+        reduced = remove_dangling(query, loaded)
+        for name in loaded:
+            got = dict(reduced[name].data.collect())
+            assert got == dict(expected[name].tuples), (query, name)
+
+
+def test_remove_dangling_preserves_query_answer():
+    rng = random.Random(3)
+    instance = random_instance(
+        TWIG_QUERY, tuples=40, domain=5, rng=rng, semiring=COUNTING,
+        weight_sampler=lambda r: r.randint(1, 3),
+    )
+    before = evaluate(instance)
+    cluster = MPCCluster(4)
+    view = cluster.view()
+    loaded = {
+        name: DistRelation.load(view, instance.relation(name))
+        for name, _ in instance.query.relations
+    }
+    reduced = remove_dangling(instance.query, loaded)
+    new_relations = {
+        name: Relation(name, rel.schema, rel.data.collect(), semiring=COUNTING)
+        for name, rel in reduced.items()
+    }
+    after = evaluate(Instance(instance.query, new_relations, COUNTING))
+    assert before.tuples == after.tuples
+
+
+def test_remove_dangling_empty_join_empties_everything():
+    r1 = Relation("R1", ("A", "B"), [((1, 1), 1)])
+    r2 = Relation("R2", ("B", "C"), [((2, 2), 1)])  # no shared B value
+    cluster = MPCCluster(3)
+    view = cluster.view()
+    reduced = remove_dangling(
+        MATMUL_QUERY,
+        {"R1": DistRelation.load(view, r1), "R2": DistRelation.load(view, r2)},
+    )
+    assert reduced["R1"].total_size == 0
+    assert reduced["R2"].total_size == 0

@@ -1,0 +1,102 @@
+"""Distributed datasets: placement, local ops, metered movement."""
+
+import pytest
+
+from repro.mpc import Distributed, MPCCluster, RoutingError, transfer
+
+
+def test_from_items_balances_contiguously():
+    view = MPCCluster(4).view()
+    dist = Distributed.from_items(view, list(range(10)))
+    assert dist.part_sizes() == [3, 3, 3, 1]
+    assert dist.collect() == list(range(10))
+    assert dist.total_size == 10
+
+
+def test_from_items_empty():
+    view = MPCCluster(4).view()
+    dist = Distributed.from_items(view, [])
+    assert dist.total_size == 0
+    assert dist.part_sizes() == [0, 0, 0, 0]
+
+
+def test_initial_placement_is_free():
+    cluster = MPCCluster(4)
+    Distributed.from_items(cluster.view(), list(range(100)))
+    assert cluster.report().total_communication == 0
+
+
+def test_local_ops_do_not_communicate():
+    cluster = MPCCluster(4)
+    dist = Distributed.from_items(cluster.view(), list(range(20)))
+    mapped = dist.map_items(lambda x: x * 2)
+    filtered = mapped.filter_items(lambda x: x % 4 == 0)
+    merged = mapped.concat(filtered)
+    assert sorted(mapped.collect()) == [2 * i for i in range(20)]
+    assert all(x % 4 == 0 for x in filtered.collect())
+    assert merged.total_size == mapped.total_size + filtered.total_size
+    assert cluster.report().total_communication == 0
+
+
+def test_concat_requires_same_view():
+    cluster = MPCCluster(4)
+    a = Distributed.from_items(cluster.view(), [1])
+    other_cluster = MPCCluster(3)
+    b = Distributed.from_items(other_cluster.view(), [2])
+    with pytest.raises(RoutingError):
+        a.concat(b)
+
+
+def test_repartition_moves_and_charges():
+    cluster = MPCCluster(4)
+    view = cluster.view()
+    dist = Distributed.from_items(view, list(range(16)))
+    routed = dist.repartition(lambda x: x % 4)
+    for server, part in enumerate(routed.parts):
+        assert all(x % 4 == server for x in part)
+    assert cluster.report().total_communication == 16
+    assert cluster.report().max_load == 4
+
+
+def test_repartition_multi_replicates():
+    cluster = MPCCluster(3)
+    dist = Distributed.from_items(cluster.view(), ["x"])
+    replicated = dist.repartition_multi(lambda _x: [0, 1, 2])
+    assert replicated.part_sizes() == [1, 1, 1]
+    assert cluster.report().total_communication == 3
+
+
+def test_rebalance_evens_out():
+    cluster = MPCCluster(4)
+    view = cluster.view()
+    dist = Distributed(view, [[1] * 12, [], [], []])
+    balanced = dist.rebalance()
+    assert max(balanced.part_sizes()) <= 3
+    assert balanced.total_size == 12
+
+
+def test_transfer_across_views():
+    cluster = MPCCluster(8)
+    view = cluster.view()
+    source = Distributed.from_items(view, list(range(8)))
+    target_view = view.subview([6, 7])
+    moved = transfer(source, target_view, lambda x: x % 2)
+    assert sorted(moved.collect()) == list(range(8))
+    assert moved.view.servers == (6, 7)
+    # Cursors synchronized.
+    assert view.round == target_view.round
+
+
+def test_transfer_rejects_foreign_cluster():
+    a = MPCCluster(2)
+    b = MPCCluster(2)
+    source = Distributed.from_items(a.view(), [1])
+    with pytest.raises(RoutingError):
+        transfer(source, b.view(), lambda _x: 0)
+
+
+def test_broadcast_returns_everything():
+    cluster = MPCCluster(3)
+    dist = Distributed.from_items(cluster.view(), [1, 2, 3, 4])
+    everything = dist.broadcast()
+    assert sorted(everything) == [1, 2, 3, 4]

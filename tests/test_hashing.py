@@ -1,0 +1,59 @@
+"""Deterministic keyed hashing."""
+
+import pytest
+
+from repro.mpc.hashing import hash_to_bucket, hash_to_unit, stable_hash
+
+
+def test_determinism_across_calls():
+    assert stable_hash(("a", 1, 2.5)) == stable_hash(("a", 1, 2.5))
+    assert stable_hash("x", salt=3) == stable_hash("x", salt=3)
+
+
+def test_salts_behave_as_independent_functions():
+    values = [stable_hash(i, salt=0) for i in range(100)]
+    other = [stable_hash(i, salt=1) for i in range(100)]
+    assert values != other
+
+
+def test_type_discrimination():
+    # Values that collide under naive str() must hash differently.
+    assert stable_hash(1) != stable_hash("1")
+    assert stable_hash(1) != stable_hash(1.0)
+    assert stable_hash((1, 2)) != stable_hash((12,))
+    assert stable_hash(("a", "bc")) != stable_hash(("ab", "c"))
+    assert stable_hash(True) != stable_hash(1)
+    assert stable_hash(None) != stable_hash(0)
+
+
+def test_nested_tuples_and_frozensets():
+    assert stable_hash(((1, 2), (3,))) == stable_hash(((1, 2), (3,)))
+    assert stable_hash(frozenset({1, 2})) == stable_hash(frozenset({2, 1}))
+    assert stable_hash(frozenset({1})) != stable_hash(frozenset({2}))
+
+
+def test_unit_interval():
+    for i in range(200):
+        u = hash_to_unit(i)
+        assert 0.0 <= u < 1.0
+
+
+def test_bucket_range_and_rough_uniformity():
+    buckets = 8
+    counts = [0] * buckets
+    for i in range(4000):
+        b = hash_to_bucket(i, buckets)
+        assert 0 <= b < buckets
+        counts[b] += 1
+    assert min(counts) > 4000 / buckets * 0.7
+    assert max(counts) < 4000 / buckets * 1.3
+
+
+def test_bucket_requires_positive_count():
+    with pytest.raises(ValueError):
+        hash_to_bucket("x", 0)
+
+
+def test_unhashable_type_raises():
+    with pytest.raises(TypeError):
+        stable_hash([1, 2, 3])  # lists are not canonical keys

@@ -1,0 +1,93 @@
+"""Relation/instance serialization."""
+
+import io
+import math
+
+import pytest
+
+from repro.data import Instance, Relation, TreeQuery
+from repro.io import (
+    instance_from_json,
+    instance_to_json,
+    read_relation_tsv,
+    write_relation_tsv,
+)
+from repro.ram import evaluate
+from repro.semiring import COUNTING, TROPICAL_MIN_PLUS
+from repro.testing import OpaqueSemiring
+from tests.conftest import MATMUL_QUERY
+
+
+def test_tsv_roundtrip(tmp_path):
+    relation = Relation(
+        "R", ("A", "B"), [((1, "x"), 3), ((2, "y"), 7), ((1, "y"), 1)]
+    )
+    path = str(tmp_path / "rel.tsv")
+    write_relation_tsv(relation, path)
+    back = read_relation_tsv(path, name="R")
+    assert back.schema == relation.schema
+    assert back.tuples == relation.tuples
+
+
+def test_tsv_stream_roundtrip():
+    relation = Relation("R", ("U", "V"), [((0, 1), 2.5), ((3, 4), 0.5)])
+    buffer = io.StringIO()
+    write_relation_tsv(relation, buffer)
+    buffer.seek(0)
+    back = read_relation_tsv(buffer)
+    assert back.tuples == relation.tuples
+
+
+def test_tsv_duplicate_combining():
+    text = "A\tB\t__annotation\n1\t2\t3\n1\t2\t4\n"
+    relation = read_relation_tsv(io.StringIO(text), semiring=COUNTING)
+    assert relation.tuples == {(1, 2): 7}
+
+
+def test_tsv_validation():
+    with pytest.raises(ValueError):
+        read_relation_tsv(io.StringIO("A\tB\n1\t2\n"))
+    with pytest.raises(ValueError):
+        read_relation_tsv(io.StringIO("A\t__annotation\n1\t2\t3\n"))
+
+
+def test_tsv_custom_parsers():
+    text = "A\t__annotation\nfoo\t inf\n"
+    relation = read_relation_tsv(
+        io.StringIO(text),
+        parse_value=str.upper,
+        parse_annotation=lambda cell: math.inf,
+    )
+    assert relation.tuples == {("FOO",): math.inf}
+
+
+def test_json_roundtrip_preserves_answers():
+    r1 = Relation("R1", ("A", "B"), [((i, i % 3), float(i + 1)) for i in range(9)])
+    r2 = Relation("R2", ("B", "C"), [((i % 3, i), 1.0) for i in range(9)])
+    instance = Instance(MATMUL_QUERY, {"R1": r1, "R2": r2}, TROPICAL_MIN_PLUS)
+    document = instance_to_json(instance)
+    restored = instance_from_json(document)
+    assert restored.semiring is TROPICAL_MIN_PLUS
+    assert evaluate(restored).tuples == evaluate(instance).tuples
+
+
+def test_json_roundtrip_tuple_values():
+    query = TreeQuery((("R", ("A", "B")),), frozenset({"A", "B"}))
+    relation = Relation("R", ("A", "B"), [(((1, 2), ("x", 3)), 5)])
+    instance = Instance(query, {"R": relation}, COUNTING)
+    restored = instance_from_json(instance_to_json(instance))
+    assert restored.relation("R").tuples == relation.tuples
+
+
+def test_json_rejects_custom_semirings():
+    semiring, _ = OpaqueSemiring.make()
+    query = TreeQuery((("R", ("A", "B")),), frozenset({"A"}))
+    relation = Relation("R", ("A", "B"), [((0, 0), OpaqueSemiring.wrap(1))])
+    instance = Instance(query, {"R": relation}, semiring)
+    with pytest.raises(ValueError):
+        instance_to_json(instance)
+
+
+def test_json_rejects_unknown_semiring_name():
+    with pytest.raises(ValueError):
+        instance_from_json('{"semiring": "nope", "output": [], "relations": []}')

@@ -1,0 +1,111 @@
+"""KMV sketches and §2.2 OUT estimation."""
+
+import random
+
+import pytest
+
+from repro.data import DistRelation, Instance, Relation
+from repro.mpc import MPCCluster
+from repro.primitives import KMV, MultiKMV, estimate_path_out
+from repro.ram import evaluate
+from repro.semiring import COUNTING
+from tests.conftest import LINE3_QUERY, MATMUL_QUERY, random_instance
+
+
+def test_kmv_exact_below_k():
+    sketch = KMV.of(range(10), k=32)
+    assert sketch.estimate() == 10.0
+
+
+def test_kmv_ignores_duplicates():
+    sketch = KMV.of([1, 1, 1, 2, 2, 3], k=8)
+    assert sketch.estimate() == 3.0
+
+
+def test_kmv_merge_equals_union():
+    a = KMV.of(range(0, 500), k=16, salt=3)
+    b = KMV.of(range(250, 750), k=16, salt=3)
+    union = KMV.of(range(0, 750), k=16, salt=3)
+    assert a.merge(b).values == union.values
+
+
+def test_kmv_merge_requires_same_parameters():
+    with pytest.raises(ValueError):
+        KMV(8, salt=0).merge(KMV(8, salt=1))
+    with pytest.raises(ValueError):
+        KMV(8).merge(KMV(16))
+
+
+def test_kmv_requires_k_at_least_two():
+    with pytest.raises(ValueError):
+        KMV(1)
+
+
+def test_kmv_estimate_accuracy():
+    truth = 5000
+    estimates = [KMV.of(range(truth), k=128, salt=s).estimate() for s in range(7)]
+    median = sorted(estimates)[len(estimates) // 2]
+    assert truth * 0.7 <= median <= truth * 1.4
+
+
+def test_multikmv_median_boosting():
+    bundle = MultiKMV.of(range(2000), k=64, repetitions=7)
+    assert 2000 * 0.6 <= bundle.estimate() <= 2000 * 1.5
+    other = MultiKMV.of(range(1000, 3000), k=64, repetitions=7)
+    merged = bundle.merge(other)
+    assert 3000 * 0.6 <= merged.estimate() <= 3000 * 1.5
+
+
+def test_estimate_path_out_matmul_exact_regime():
+    # With fewer distinct endpoints than k the estimate is exact.
+    rng = random.Random(5)
+    instance = random_instance(
+        MATMUL_QUERY, tuples=60, domain=12, rng=rng, semiring=COUNTING,
+        weight_sampler=lambda r: 1,
+    )
+    exact = len(evaluate(instance))
+    cluster = MPCCluster(6)
+    view = cluster.view()
+    r1 = DistRelation.load(view, instance.relation("R1"))
+    r2 = DistRelation.load(view, instance.relation("R2"))
+    total, per_a = estimate_path_out([r1, r2], ["A", "B", "C"])
+    assert total == pytest.approx(exact, rel=0.05)
+    # Per-value estimates sum to the total.
+    assert sum(est for _v, est in per_a.collect()) == pytest.approx(total)
+
+
+def test_estimate_path_out_line_constant_factor():
+    rng = random.Random(6)
+    instance = random_instance(
+        LINE3_QUERY, tuples=150, domain=25, rng=rng, semiring=COUNTING,
+        weight_sampler=lambda r: 1,
+    )
+    exact = len(evaluate(instance))
+    cluster = MPCCluster(8)
+    view = cluster.view()
+    rels = [DistRelation.load(view, instance.relation(f"R{i+1}")) for i in range(3)]
+    total, _ = estimate_path_out(rels, ["A1", "A2", "A3", "A4"])
+    assert exact * 0.5 <= total <= exact * 2.0
+
+
+def test_estimate_path_out_validates_arity():
+    view = MPCCluster(2).view()
+    rel = DistRelation.load(view, Relation("R", ("A", "B"), [((1, 2), 1)]))
+    with pytest.raises(ValueError):
+        estimate_path_out([rel], ["A", "B", "C"])
+
+
+def test_estimate_has_linear_load():
+    rng = random.Random(7)
+    instance = random_instance(
+        MATMUL_QUERY, tuples=400, domain=40, rng=rng, semiring=COUNTING,
+        weight_sampler=lambda r: 1,
+    )
+    cluster = MPCCluster(8)
+    view = cluster.view()
+    r1 = DistRelation.load(view, instance.relation("R1"))
+    r2 = DistRelation.load(view, instance.relation("R2"))
+    estimate_path_out([r1, r2], ["A", "B", "C"])
+    n = instance.total_size
+    # Sketch bundles count as one unit; load should be O(N/p).
+    assert cluster.report().max_load <= 4 * n // 8 + 16

@@ -1,0 +1,95 @@
+"""Property tests for the combinatorial lemmas the algorithms rely on.
+
+The §5/§6 reductions are only correct-and-tight because of Lemma 6 (the
+odd/even split of a sorted degree vector keeps both sides ≤ √λ) and
+Lemma 11 (the {n, n−3, n−6, …} split keeps both sides ≤ λ^{2/3} whenever
+the largest degree is ≤ √λ).  We test the exact split rules the code uses
+against random degree vectors.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+def _odd_even_split(degrees):
+    """§5: positions 1,3,5,… vs 2,4,6,… of the ascending-sorted vector."""
+    ordered = sorted(degrees)
+    odd = [ordered[k] for k in range(0, len(ordered), 2)]
+    even = [ordered[k] for k in range(1, len(ordered), 2)]
+    return odd, even
+
+
+def _lemma11_split(degrees):
+    """§6: positions I = {n, n−3, n−6, …} (1-based) vs the rest."""
+    ordered = sorted(degrees)
+    n = len(ordered)
+    in_i = set()
+    position = n
+    while position >= 1:
+        in_i.add(position)
+        position -= 3
+    i_side = [ordered[k - 1] for k in sorted(in_i)]
+    j_side = [ordered[k - 1] for k in range(1, n + 1) if k not in in_i]
+    return i_side, j_side
+
+
+def _product(values):
+    result = 1
+    for value in values:
+        result *= value
+    return result
+
+
+degree_vectors = st.lists(st.integers(min_value=1, max_value=50), min_size=2, max_size=8)
+
+
+@settings(max_examples=300, deadline=None)
+@given(degree_vectors)
+def test_lemma6_odd_even_bounded_by_sqrt(degrees):
+    """Lemma 6: with I = odd positions of [n−2] … the paper's statement is
+    about all-but-the-top-two entries; operationally §5 bounds
+    |R_φ(A^odd, B)| ≤ √λ · d_n per value, i.e. dropping the largest entry of
+    each side leaves a product ≤ √λ."""
+    odd, even = _odd_even_split(degrees)
+    lam = _product(degrees)
+    # The paper's invariant: each side's product, divided by its largest
+    # element, is ≤ √λ (that largest element is the Σ_b factor).
+    for side in (odd, even):
+        if side:
+            assert _product(side) / max(side) <= math.sqrt(lam) + 1e-9
+
+
+@settings(max_examples=300, deadline=None)
+@given(degree_vectors)
+def test_lemma11_split_bounded_by_two_thirds(degrees):
+    """Lemma 11: if d_n ≤ √λ then both index-set products are ≤ λ^{2/3}."""
+    ordered = sorted(degrees)
+    lam = _product(ordered)
+    if ordered[-1] > math.sqrt(lam):
+        return  # premise fails; lemma says nothing
+    i_side, j_side = _lemma11_split(ordered)
+    bound = lam ** (2.0 / 3.0)
+    assert _product(i_side) <= bound * (1 + 1e-9)
+    assert _product(j_side) <= bound * (1 + 1e-9)
+
+
+@settings(max_examples=200, deadline=None)
+@given(degree_vectors)
+def test_lemma11_split_partitions(degrees):
+    i_side, j_side = _lemma11_split(degrees)
+    assert sorted(i_side + j_side) == sorted(degrees)
+    assert i_side  # I always contains position n
+
+
+@settings(max_examples=200, deadline=None)
+@given(degree_vectors)
+def test_small_large_classification_consistency(degrees):
+    """§6's small/large test: ∏_{i<n} d_{φ(i)} ≤ d_{φ(n)} ⇒ the product of
+    all-but-the-largest is ≤ √λ (Lemma 9 case 1)."""
+    ordered = sorted(degrees)
+    rest, top = ordered[:-1], ordered[-1]
+    lam = _product(ordered)
+    if _product(rest) <= top:
+        assert _product(rest) <= math.sqrt(lam) + 1e-9

@@ -1,0 +1,113 @@
+"""Line queries (§4) against the RAM oracle."""
+
+import random
+
+import pytest
+
+from repro.core.line import line_query
+from repro.data import DistRelation, Instance, Relation, TreeQuery
+from repro.mpc import MPCCluster
+from repro.ram import evaluate
+from repro.semiring import COUNTING
+from repro.workloads import line_instance, planted_out_line
+from tests.conftest import SEMIRING_SAMPLERS, canonicalize
+
+
+def _run(instance, p=8):
+    query = instance.query
+    order = query.path_order()
+    cluster = MPCCluster(p)
+    view = cluster.view()
+    rels = []
+    for i in range(len(order) - 1):
+        name = next(
+            n for n, attrs in query.relations
+            if set(attrs) == {order[i], order[i + 1]}
+        )
+        rels.append(DistRelation.load(view, instance.relation(name)))
+    result = line_query(rels, order, instance.semiring)
+    return cluster, result
+
+
+def _assert_matches(instance, result):
+    want = evaluate(instance)
+    schema = tuple(sorted(instance.query.output))
+    got = canonicalize(
+        result.collect("line", instance.semiring), schema, instance.semiring
+    )
+    assert got.tuples == want.tuples
+
+
+@pytest.mark.parametrize("length", [2, 3, 4, 5])
+@pytest.mark.parametrize(
+    "semiring,sampler", SEMIRING_SAMPLERS[:2], ids=lambda x: getattr(x, "name", "")
+)
+def test_line_lengths_and_semirings(length, semiring, sampler):
+    rng = random.Random(length * 11)
+    instance = line_instance(
+        length, tuples=70, domain=10, seed=length, semiring=semiring,
+        weight_fn=lambda: sampler(rng),
+    )
+    cluster, result = _run(instance)
+    _assert_matches(instance, result)
+
+
+@pytest.mark.parametrize("p", [1, 4, 16])
+def test_line_any_cluster_size(p):
+    instance = line_instance(3, tuples=90, domain=11, seed=p)
+    cluster, result = _run(instance, p)
+    _assert_matches(instance, result)
+
+
+def test_line_planted_out_family():
+    instance = planted_out_line(length=3, n=120, out=1200)
+    cluster, result = _run(instance)
+    _assert_matches(instance, result)
+    assert len(evaluate(instance)) == 1200
+
+
+def test_line_dense_middle_heavy_path():
+    # A single fat A2 value exercises the heavy branch of §4.
+    r1 = Relation("R1", ("A1", "A2"), [((i, 0), 1) for i in range(50)])
+    r2 = Relation("R2", ("A2", "A3"), [((0, j), 1) for j in range(20)])
+    r3 = Relation("R3", ("A3", "A4"), [((j, j), 1) for j in range(20)])
+    query = TreeQuery(
+        (("R1", ("A1", "A2")), ("R2", ("A2", "A3")), ("R3", ("A3", "A4"))),
+        frozenset({"A1", "A4"}),
+    )
+    instance = Instance(query, {"R1": r1, "R2": r2, "R3": r3}, COUNTING)
+    cluster, result = _run(instance)
+    _assert_matches(instance, result)
+
+
+def test_line_empty_middle_gives_empty_result():
+    r1 = Relation("R1", ("A1", "A2"), [((0, 0), 1)])
+    r2 = Relation("R2", ("A2", "A3"))
+    r3 = Relation("R3", ("A3", "A4"), [((0, 0), 1)])
+    query = TreeQuery(
+        (("R1", ("A1", "A2")), ("R2", ("A2", "A3")), ("R3", ("A3", "A4"))),
+        frozenset({"A1", "A4"}),
+    )
+    instance = Instance(query, {"R1": r1, "R2": r2, "R3": r3}, COUNTING)
+    cluster, result = _run(instance)
+    assert result.data.total_size == 0
+
+
+def test_line_validates_arity():
+    view = MPCCluster(2).view()
+    rel = DistRelation.load(view, Relation("R", ("A", "B"), [((0, 0), 1)]))
+    with pytest.raises(ValueError):
+        line_query([rel], ["A", "B", "C"], COUNTING)
+
+
+def test_line_annotations_multiply_along_path():
+    r1 = Relation("R1", ("A1", "A2"), [((0, 0), 2)])
+    r2 = Relation("R2", ("A2", "A3"), [((0, 0), 3)])
+    r3 = Relation("R3", ("A3", "A4"), [((0, 0), 5)])
+    query = TreeQuery(
+        (("R1", ("A1", "A2")), ("R2", ("A2", "A3")), ("R3", ("A3", "A4"))),
+        frozenset({"A1", "A4"}),
+    )
+    instance = Instance(query, {"R1": r1, "R2": r2, "R3": r3}, COUNTING)
+    cluster, result = _run(instance, p=4)
+    assert dict(result.data.collect()) == {(0, 0): 30}

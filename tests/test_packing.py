@@ -1,0 +1,94 @@
+"""Parallel-packing invariants (paper §2.1, [14])."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpc import Distributed, MPCCluster
+from repro.primitives import parallel_packing
+from repro.primitives.packing import scoped_parallel_packing
+
+
+def _group_totals(pairs, size_fn):
+    groups = {}
+    for item, group in pairs.items():
+        groups.setdefault(group, 0.0)
+        groups[group] += size_fn(item)
+    return groups
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=0.001, max_value=1.0, allow_nan=False),
+        min_size=1,
+        max_size=120,
+    )
+)
+def test_packing_invariants(sizes):
+    cluster = MPCCluster(5)
+    dist = Distributed.from_items(cluster.view(), sizes)
+    pairs, m = parallel_packing(dist, lambda x: x)
+    totals = _group_totals(pairs, lambda x: x)
+    assert len(totals) == m
+    assert all(total <= 1.0 + 1e-9 for total in totals.values())
+    deficient = [t for t in totals.values() if t < 0.5 - 1e-9]
+    assert len(deficient) <= 1
+    assert m <= 1 + 2 * sum(sizes) + 1e-9
+    # Partition: every item appears exactly once.
+    assert sorted(item for item, _g in pairs.items()) == sorted(sizes)
+
+
+def test_packing_rejects_out_of_range_sizes():
+    view = MPCCluster(2).view()
+    with pytest.raises(ValueError):
+        parallel_packing(Distributed.from_items(view, [1.5]), lambda x: x)
+    with pytest.raises(ValueError):
+        parallel_packing(Distributed.from_items(view, [0.0]), lambda x: x)
+
+
+def test_packing_all_big_items():
+    view = MPCCluster(3).view()
+    pairs, m = parallel_packing(
+        Distributed.from_items(view, [0.9, 0.8, 0.6]), lambda x: x
+    )
+    assert m == 3
+    totals = _group_totals(pairs, lambda x: x)
+    assert sorted(totals.values()) == [0.6, 0.8, 0.9]
+
+
+def test_packing_moves_no_data():
+    cluster = MPCCluster(4)
+    dist = Distributed.from_items(cluster.view(), [0.1] * 40)
+    parallel_packing(dist, lambda x: x)
+    assert cluster.report().total_communication == 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 3), st.floats(0.001, 1.0, allow_nan=False)),
+        min_size=1,
+        max_size=100,
+    )
+)
+def test_scoped_packing_invariants(items):
+    cluster = MPCCluster(4)
+    dist = Distributed.from_items(cluster.view(), items)
+    pairs, per_scope = scoped_parallel_packing(
+        dist, lambda it: it[0], lambda it: it[1]
+    )
+    groups = {}
+    for item, group in pairs.items():
+        assert group[0] == item[0]  # groups never mix scopes
+        groups.setdefault(group, 0.0)
+        groups[group] += item[1]
+    for scope, count in per_scope.items():
+        totals = [t for g, t in groups.items() if g[0] == scope]
+        assert len(totals) == count
+        assert all(t <= 1.0 + 1e-9 for t in totals)
+        deficient = [t for t in totals if t < 0.5 - 1e-9]
+        assert len(deficient) <= 1
+    assert sorted(item for item, _g in pairs.items()) == sorted(items)

@@ -1,0 +1,96 @@
+"""Property tests composing primitives into pipelines.
+
+Beyond per-primitive correctness, the algorithms rely on primitives
+*composing*: a reduce over a sorted dataset, a semijoin after a
+repartition, packing the output of a degree table.  These tests drive
+random pipelines against plain-Python oracles.
+"""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpc import Distributed, MPCCluster
+from repro.primitives import (
+    count_by_key,
+    distributed_sort,
+    parallel_packing,
+    reduce_by_key,
+    semijoin,
+)
+
+SETTINGS = settings(max_examples=30, deadline=None)
+
+key_values = st.lists(
+    st.tuples(st.integers(0, 20), st.integers(1, 5)), max_size=120
+)
+
+
+@SETTINGS
+@given(key_values, st.sampled_from([1, 4, 7]))
+def test_sort_then_reduce(pairs, p):
+    cluster = MPCCluster(p)
+    dist = Distributed.from_items(cluster.view(), pairs)
+    ordered = distributed_sort(dist, lambda kv: kv)
+    reduced = reduce_by_key(
+        ordered, lambda kv: kv[0], lambda kv: kv[1], lambda a, b: a + b
+    )
+    expected = Counter()
+    for key, value in pairs:
+        expected[key] += value
+    assert dict(reduced.collect()) == dict(expected)
+
+
+@SETTINGS
+@given(key_values, st.sets(st.integers(0, 20)))
+def test_degree_then_semijoin(pairs, keep_keys):
+    cluster = MPCCluster(5)
+    view = cluster.view()
+    degrees = count_by_key(Distributed.from_items(view, pairs), lambda kv: kv[0])
+    keep = Distributed.from_items(view, sorted(keep_keys))
+    filtered = semijoin(degrees, keep, lambda entry: entry[0], lambda k: k)
+    expected = {
+        key: count
+        for key, count in Counter(k for k, _v in pairs).items()
+        if key in keep_keys
+    }
+    assert dict(filtered.collect()) == expected
+
+
+@SETTINGS
+@given(key_values)
+def test_degrees_then_packing(pairs):
+    cluster = MPCCluster(4)
+    view = cluster.view()
+    degrees = count_by_key(Distributed.from_items(view, pairs), lambda kv: kv[0])
+    total = max(1, degrees.total_size and max(c for _k, c in degrees.collect()))
+    packed, groups = parallel_packing(degrees, lambda entry: entry[1] / total)
+    if degrees.total_size == 0:
+        assert groups == 0 or groups == 1
+        return
+    packed_keys = sorted(key for (key, _c), _g in packed.items())
+    assert packed_keys == sorted(k for k, _c in degrees.collect())
+
+
+@SETTINGS
+@given(key_values, st.sampled_from([2, 6]))
+def test_repartition_preserves_multiset(pairs, p):
+    cluster = MPCCluster(p)
+    dist = Distributed.from_items(cluster.view(), pairs)
+    routed = dist.repartition(lambda kv: kv[0] % p)
+    assert sorted(routed.collect()) == sorted(pairs)
+    report = cluster.report()
+    assert report.total_communication == len(pairs)
+
+
+@SETTINGS
+@given(key_values)
+def test_load_conservation(pairs):
+    """Messages sent == messages charged across any pipeline."""
+    cluster = MPCCluster(3)
+    dist = Distributed.from_items(cluster.view(), pairs)
+    routed = dist.repartition(lambda kv: kv[0] % 3)
+    routed2 = routed.repartition(lambda kv: kv[1] % 3)
+    assert cluster.report().total_communication == 2 * len(pairs)
+    assert sorted(routed2.collect()) == sorted(pairs)

@@ -1,0 +1,127 @@
+"""Sequential oracle: brute force vs variable elimination vs Yannakakis."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import Instance, Relation, TreeQuery
+from repro.ram import (
+    brute_force,
+    evaluate,
+    full_join_size,
+    output_size,
+    run_yannakakis,
+    yannakakis_plan,
+)
+from repro.semiring import BOOLEAN, COUNTING, TROPICAL_MIN_PLUS
+from tests.conftest import (
+    GENERAL_TREE_QUERY,
+    LINE3_QUERY,
+    MATMUL_QUERY,
+    SEMIRING_SAMPLERS,
+    STAR3_QUERY,
+    TWIG_QUERY,
+    random_instance,
+)
+
+ALL_QUERIES = [MATMUL_QUERY, LINE3_QUERY, STAR3_QUERY, TWIG_QUERY, GENERAL_TREE_QUERY]
+
+
+@pytest.mark.parametrize("query", ALL_QUERIES, ids=lambda q: q.classify())
+@pytest.mark.parametrize("semiring,sampler", SEMIRING_SAMPLERS, ids=lambda x: getattr(x, "name", ""))
+def test_evaluate_matches_brute_force(query, semiring, sampler):
+    rng = random.Random(hash(query.classify()) & 0xFFFF)
+    instance = random_instance(query, 25, 4, rng, semiring, sampler)
+    assert evaluate(instance).same_contents(brute_force(instance))
+
+
+@pytest.mark.parametrize("query", ALL_QUERIES, ids=lambda q: q.classify())
+def test_yannakakis_matches_evaluate(query):
+    rng = random.Random(7)
+    instance = random_instance(
+        query, 40, 5, rng, COUNTING, lambda r: r.randint(1, 4)
+    )
+    result, j = run_yannakakis(instance)
+    assert result.same_contents(evaluate(instance))
+    assert j >= 0
+
+
+def test_yannakakis_plan_shape():
+    plan = yannakakis_plan(LINE3_QUERY)
+    assert len(plan) == 2
+    # The final step must keep exactly the output attributes.
+    assert set(plan[-1].keep) == {"A1", "A4"}
+
+
+def test_yannakakis_plan_star():
+    plan = yannakakis_plan(STAR3_QUERY)
+    assert len(plan) == 2
+    # Intermediate steps keep the centre B (needed by remaining relations).
+    assert "B" in plan[0].keep
+
+
+def test_full_join_and_output_size():
+    r1 = Relation("R1", ("A", "B"), [((i, 0), 1) for i in range(3)])
+    r2 = Relation("R2", ("B", "C"), [((0, j), 1) for j in range(4)])
+    instance = Instance(MATMUL_QUERY, {"R1": r1, "R2": r2}, COUNTING)
+    assert full_join_size(instance) == 12
+    assert output_size(instance) == 12
+
+
+def test_aggregation_collapses_groups():
+    # Two B-paths between the same (a, c) pair must ⊕-combine.
+    r1 = Relation("R1", ("A", "B"), [((0, 0), 2), ((0, 1), 3)])
+    r2 = Relation("R2", ("B", "C"), [((0, 0), 5), ((1, 0), 7)])
+    instance = Instance(MATMUL_QUERY, {"R1": r1, "R2": r2}, COUNTING)
+    result = evaluate(instance)
+    assert result.tuples == {(0, 0): 2 * 5 + 3 * 7}
+
+    tropical = Instance(
+        MATMUL_QUERY,
+        {
+            "R1": Relation("R1", ("A", "B"), [((0, 0), 2.0), ((0, 1), 3.0)]),
+            "R2": Relation("R2", ("B", "C"), [((0, 0), 5.0), ((1, 0), 7.0)]),
+        },
+        TROPICAL_MIN_PLUS,
+    )
+    assert evaluate(tropical).tuples == {(0, 0): 7.0}
+
+
+def test_empty_output_query_computes_grand_total():
+    query = TreeQuery(MATMUL_QUERY.relations, frozenset())
+    r1 = Relation("R1", ("A", "B"), [((0, 0), 2), ((1, 0), 3)])
+    r2 = Relation("R2", ("B", "C"), [((0, 0), 1), ((0, 1), 1)])
+    instance = Instance(query, {"R1": r1, "R2": r2}, COUNTING)
+    result = evaluate(instance)
+    assert result.tuples == {(): (2 + 3) * 2}
+
+
+def test_empty_instance_empty_result():
+    r1 = Relation("R1", ("A", "B"))
+    r2 = Relation("R2", ("B", "C"), [((0, 0), 1)])
+    instance = Instance(MATMUL_QUERY, {"R1": r1, "R2": r2}, COUNTING)
+    assert len(evaluate(instance)) == 0
+    assert len(brute_force(instance)) == 0
+
+
+def test_intermediate_size_reflects_join_blowup():
+    # A dense-B instance forces a quadratic intermediate in Yannakakis.
+    r1 = Relation("R1", ("A", "B"), [((i, 0), 1) for i in range(20)])
+    r2 = Relation("R2", ("B", "C"), [((0, j), 1) for j in range(20)])
+    instance = Instance(MATMUL_QUERY, {"R1": r1, "R2": r2}, COUNTING)
+    _result, j = run_yannakakis(instance)
+    assert j == 400
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000))
+def test_boolean_projection_is_join_project(seed):
+    rng = random.Random(seed)
+    instance = random_instance(
+        LINE3_QUERY, 20, 4, rng, BOOLEAN, lambda r: True
+    )
+    result = evaluate(instance)
+    # Boolean semantics: annotation True for every present tuple.
+    assert all(w is True for _k, w in result)

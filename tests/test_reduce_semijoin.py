@@ -1,0 +1,149 @@
+"""Reduce-by-key, multi-search, and semijoin primitives (paper §2.1)."""
+
+import bisect
+import random
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpc import Distributed, MPCCluster
+from repro.primitives import (
+    anti_semijoin,
+    count_by_key,
+    distinct_keys,
+    multi_search,
+    reduce_by_key,
+    semijoin,
+)
+
+
+def test_reduce_by_key_sums():
+    rng = random.Random(1)
+    cluster = MPCCluster(8)
+    pairs = [(rng.randint(0, 30), rng.randint(1, 9)) for _ in range(800)]
+    reduced = reduce_by_key(
+        Distributed.from_items(cluster.view(), pairs),
+        lambda pair: pair[0],
+        lambda pair: pair[1],
+        lambda a, b: a + b,
+    )
+    expected = Counter()
+    for key, value in pairs:
+        expected[key] += value
+    assert dict(reduced.collect()) == dict(expected)
+
+
+def test_reduce_by_key_with_non_commutative_safe_combiner():
+    cluster = MPCCluster(4)
+    pairs = [(0, frozenset({i})) for i in range(20)]
+    reduced = reduce_by_key(
+        Distributed.from_items(cluster.view(), pairs),
+        lambda pair: pair[0],
+        lambda pair: pair[1],
+        lambda a, b: a | b,
+    )
+    assert dict(reduced.collect()) == {0: frozenset(range(20))}
+
+
+def test_reduce_by_key_heavy_key_load_stays_linear():
+    cluster = MPCCluster(8)
+    n = 1600
+    pairs = [(0, 1)] * n  # worst skew: one key everywhere
+    reduced = reduce_by_key(
+        Distributed.from_items(cluster.view(), pairs),
+        lambda pair: pair[0],
+        lambda pair: pair[1],
+        lambda a, b: a + b,
+    )
+    assert dict(reduced.collect()) == {0: n}
+    # Pre-aggregation means ≤ 1 partial per (server, key): final fan-in ≤ p,
+    # so the max load is the initial N/p scan, not N.
+    assert cluster.report().max_load <= n // 8 + 8
+
+
+def test_count_and_distinct():
+    cluster = MPCCluster(4)
+    items = ["a", "b", "a", "c", "a", "b"]
+    counted = count_by_key(
+        Distributed.from_items(cluster.view(), items), lambda x: x
+    )
+    assert dict(counted.collect()) == {"a": 3, "b": 2, "c": 1}
+    distinct = distinct_keys(
+        Distributed.from_items(cluster.view(), items), lambda x: x
+    )
+    assert sorted(distinct.collect()) == ["a", "b", "c"]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(st.integers(0, 100), max_size=80),
+    st.lists(st.integers(0, 100), max_size=40),
+)
+def test_multi_search_matches_bisect(queries, references):
+    cluster = MPCCluster(5)
+    view = cluster.view()
+    result = multi_search(
+        Distributed.from_items(view, queries),
+        Distributed.from_items(view, references),
+        lambda x: x,
+        lambda y: y,
+    )
+    ordered = sorted(references)
+    got = dict()
+    for query, predecessor in result.collect():
+        got.setdefault(query, set()).add(predecessor)
+    for query in queries:
+        index = bisect.bisect_right(ordered, query)
+        expected = ordered[index - 1] if index else None
+        assert expected in got[query]
+
+
+def test_semijoin_keeps_matching_keys():
+    rng = random.Random(2)
+    cluster = MPCCluster(6)
+    view = cluster.view()
+    target = [(rng.randint(0, 40), i) for i in range(300)]
+    source_keys = set(rng.sample(range(41), 12))
+    source = [(k, "s") for k in source_keys]
+    kept = semijoin(
+        Distributed.from_items(view, target),
+        Distributed.from_items(view, source),
+        lambda item: item[0],
+    )
+    expected = sorted(item for item in target if item[0] in source_keys)
+    assert sorted(kept.collect()) == expected
+
+
+def test_anti_semijoin_complements():
+    cluster = MPCCluster(4)
+    view = cluster.view()
+    target = [(i % 5, i) for i in range(50)]
+    source = [(0, None), (3, None)]
+    kept = semijoin(
+        Distributed.from_items(view, target),
+        Distributed.from_items(view, source),
+        lambda item: item[0],
+    )
+    dropped = anti_semijoin(
+        Distributed.from_items(view, target),
+        Distributed.from_items(view, source),
+        lambda item: item[0],
+    )
+    assert sorted(kept.collect() + dropped.collect()) == sorted(target)
+    assert all(item[0] in (0, 3) for item in kept.collect())
+    assert all(item[0] not in (0, 3) for item in dropped.collect())
+
+
+def test_semijoin_with_distinct_source_key_fn():
+    cluster = MPCCluster(4)
+    view = cluster.view()
+    target = [("x", 1), ("y", 2)]
+    source = [(("x", "payload"),)]
+    kept = semijoin(
+        Distributed.from_items(view, target),
+        Distributed.from_items(view, source),
+        lambda item: item[0],
+        source_key_fn=lambda s: s[0][0],
+    )
+    assert kept.collect() == [("x", 1)]

@@ -1,0 +1,98 @@
+"""Annotated relations."""
+
+import pytest
+
+from repro.data import DistRelation, Relation
+from repro.mpc import MPCCluster
+from repro.semiring import COUNTING, TROPICAL_MIN_PLUS
+
+
+def test_schema_must_be_unique():
+    with pytest.raises(ValueError):
+        Relation("R", ("A", "A"))
+
+
+def test_add_and_lookup():
+    relation = Relation("R", ("A", "B"))
+    relation.add((1, 2), 10)
+    assert (1, 2) in relation
+    assert relation.annotation((1, 2)) == 10
+    assert len(relation) == 1
+
+
+def test_arity_mismatch_rejected():
+    relation = Relation("R", ("A", "B"))
+    with pytest.raises(ValueError):
+        relation.add((1, 2, 3), 1)
+
+
+def test_duplicate_without_semiring_rejected():
+    relation = Relation("R", ("A", "B"), [((1, 2), 1)])
+    with pytest.raises(ValueError):
+        relation.add((1, 2), 5)
+
+
+def test_duplicate_combines_with_semiring():
+    relation = Relation("R", ("A", "B"))
+    relation.add((1, 2), 3, COUNTING)
+    relation.add((1, 2), 4, COUNTING)
+    assert relation.annotation((1, 2)) == 7
+
+    tropical = Relation("T", ("A", "B"))
+    tropical.add((1, 2), 3.0, TROPICAL_MIN_PLUS)
+    tropical.add((1, 2), 1.0, TROPICAL_MIN_PLUS)
+    assert tropical.annotation((1, 2)) == 1.0
+
+
+def test_column_and_domain_and_degree():
+    relation = Relation(
+        "R", ("A", "B"), [((1, 10), 1), ((1, 20), 1), ((2, 10), 1)]
+    )
+    assert sorted(relation.column("A")) == [1, 1, 2]
+    assert relation.active_domain("A") == {1, 2}
+    assert relation.degree("A", 1) == 2
+    assert relation.degree("B", 10) == 2
+    assert relation.degree("A", 99) == 0
+
+
+def test_project_keys():
+    relation = Relation(
+        "R", ("A", "B"), [((1, 10), 1), ((1, 20), 1), ((2, 10), 1)]
+    )
+    assert relation.project_keys(("A",)) == {(1,), (2,)}
+    assert relation.project_keys(("B", "A")) == {(10, 1), (20, 1), (10, 2)}
+
+
+def test_attr_index_error():
+    relation = Relation("R", ("A", "B"))
+    with pytest.raises(KeyError):
+        relation.attr_index("Z")
+
+
+def test_same_contents():
+    a = Relation("R", ("A", "B"), [((1, 2), 5)])
+    b = Relation("S", ("A", "B"), [((1, 2), 5)])
+    c = Relation("S", ("A", "B"), [((1, 2), 6)])
+    assert a.same_contents(b)
+    assert not a.same_contents(c)
+
+
+def test_dist_relation_roundtrip():
+    relation = Relation("R", ("A", "B"), [((i, i % 3), i) for i in range(20)])
+    cluster = MPCCluster(4)
+    dist = DistRelation.load(cluster.view(), relation)
+    assert dist.total_size == 20
+    back = dist.collect("R", COUNTING)
+    assert back.same_contents(relation)
+
+
+def test_dist_relation_key_fn():
+    relation = Relation("R", ("A", "B"), [((1, 2), 1)])
+    dist = DistRelation.load(MPCCluster(2).view(), relation)
+    key_a = dist.key_fn(("A",))
+    key_ba = dist.key_fn(("B", "A"))
+    item = ((1, 2), 1)
+    assert key_a(item) == (1,)
+    assert key_ba(item) == (2, 1)
+    with pytest.raises(KeyError):
+        dist.attr_index("Z")

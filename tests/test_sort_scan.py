@@ -1,0 +1,106 @@
+"""Distributed sort and prefix scan primitives (paper §2.1)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpc import Distributed, MPCCluster
+from repro.primitives import distributed_sort, exclusive_prefix
+
+
+def test_sort_random_ints():
+    rng = random.Random(1)
+    cluster = MPCCluster(8)
+    data = [rng.randint(0, 10_000) for _ in range(1000)]
+    dist = Distributed.from_items(cluster.view(), data)
+    ordered = distributed_sort(dist, lambda x: x)
+    assert ordered.collect() == sorted(data)
+
+
+def test_sort_is_globally_range_partitioned():
+    rng = random.Random(2)
+    cluster = MPCCluster(6)
+    data = [rng.randint(0, 500) for _ in range(600)]
+    ordered = distributed_sort(
+        Distributed.from_items(cluster.view(), data), lambda x: x
+    )
+    previous_max = None
+    for part in ordered.parts:
+        assert part == sorted(part)
+        if part:
+            if previous_max is not None:
+                assert part[0] >= previous_max
+            previous_max = part[-1]
+
+
+def test_sort_load_is_balanced():
+    rng = random.Random(3)
+    cluster = MPCCluster(8)
+    n = 2000
+    data = [rng.random() for _ in range(n)]
+    ordered = distributed_sort(
+        Distributed.from_items(cluster.view(), data), lambda x: x
+    )
+    # Regular sampling: ≤ 2N/p + p per server.
+    assert max(ordered.part_sizes()) <= 2 * n // 8 + 8 + 64
+
+
+def test_sort_colocates_ties_when_asked():
+    cluster = MPCCluster(4)
+    data = [5] * 40 + [1] * 5 + [9] * 5
+    ordered = distributed_sort(
+        Distributed.from_items(cluster.view(), data), lambda x: x, split_ties=False
+    )
+    holders = [i for i, part in enumerate(ordered.parts) if 5 in part]
+    assert len(holders) == 1  # ties never straddle servers (bisect on key)
+
+
+def test_sort_splits_ties_by_default():
+    # All-equal keys: without tie-splitting one server would get everything.
+    cluster = MPCCluster(8)
+    n = 800
+    ordered = distributed_sort(
+        Distributed.from_items(cluster.view(), [7] * n), lambda x: x
+    )
+    assert ordered.collect() == [7] * n
+    assert max(ordered.part_sizes()) <= 2 * n // 8 + 8
+
+
+def test_sort_empty_and_single():
+    view = MPCCluster(4).view()
+    assert distributed_sort(Distributed.from_items(view, []), lambda x: x).collect() == []
+    assert distributed_sort(
+        Distributed.from_items(view, [7]), lambda x: x
+    ).collect() == [7]
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 50), st.text(max_size=3))))
+def test_sort_by_compound_key(pairs):
+    cluster = MPCCluster(5)
+    ordered = distributed_sort(
+        Distributed.from_items(cluster.view(), pairs), lambda x: x
+    )
+    assert ordered.collect() == sorted(pairs)
+
+
+def test_exclusive_prefix_matches_sequential():
+    rng = random.Random(4)
+    cluster = MPCCluster(7)
+    data = [rng.uniform(0, 2) for _ in range(300)]
+    dist = Distributed.from_items(cluster.view(), data)
+    prefixed, total = exclusive_prefix(dist, lambda x: x)
+    running = 0.0
+    for item, before in prefixed.collect():
+        assert abs(before - running) < 1e-9
+        running += item
+    assert abs(total - sum(data)) < 1e-9
+
+
+def test_exclusive_prefix_moves_no_data():
+    cluster = MPCCluster(4)
+    dist = Distributed.from_items(cluster.view(), [1.0] * 50)
+    exclusive_prefix(dist, lambda x: x)
+    assert cluster.report().total_communication == 0
+    assert cluster.report().control_messages > 0

@@ -1,0 +1,129 @@
+"""Star queries (§5) against the RAM oracle."""
+
+import random
+
+import pytest
+
+from repro.core.star import star_query
+from repro.data import DistRelation, Instance, Relation, TreeQuery
+from repro.mpc import MPCCluster
+from repro.ram import evaluate
+from repro.semiring import COUNTING, WHY_PROVENANCE
+from repro.workloads import planted_out_star, star_instance
+from tests.conftest import SEMIRING_SAMPLERS, canonicalize
+
+
+def _run(instance, p=8):
+    query = instance.query
+    cluster = MPCCluster(p)
+    view = cluster.view()
+    centre = next(
+        a for a in query.attributes
+        if all(a in attrs for _n, attrs in query.relations)
+    )
+    arm_attrs = []
+    rels = []
+    for name, attrs in query.relations:
+        arm_attrs.append(attrs[0] if attrs[1] == centre else attrs[1])
+        rels.append(DistRelation.load(view, instance.relation(name)))
+    result = star_query(rels, arm_attrs, centre, instance.semiring)
+    return cluster, result
+
+
+def _assert_matches(instance, result):
+    want = evaluate(instance)
+    schema = tuple(sorted(instance.query.output))
+    got = canonicalize(
+        result.collect("star", instance.semiring), schema, instance.semiring
+    )
+    assert got.tuples == want.tuples
+
+
+@pytest.mark.parametrize("arms", [2, 3, 4])
+@pytest.mark.parametrize(
+    "semiring,sampler", SEMIRING_SAMPLERS[:3], ids=lambda x: getattr(x, "name", "")
+)
+def test_star_arms_and_semirings(arms, semiring, sampler):
+    rng = random.Random(arms * 7)
+    instance = star_instance(
+        arms, tuples=45, arm_domain=12, centre_domain=6, seed=arms,
+        semiring=semiring, weight_fn=lambda: sampler(rng),
+    )
+    cluster, result = _run(instance)
+    _assert_matches(instance, result)
+
+
+@pytest.mark.parametrize("p", [1, 4, 16])
+def test_star_any_cluster_size(p):
+    instance = star_instance(3, tuples=50, arm_domain=10, centre_domain=5, seed=p)
+    cluster, result = _run(instance, p)
+    _assert_matches(instance, result)
+
+
+def test_star_planted_out_family():
+    instance = planted_out_star(arms=3, n=60, out=4000)
+    cluster, result = _run(instance)
+    _assert_matches(instance, result)
+
+
+def test_star_with_skewed_centre_degrees():
+    # One centre value dominates each relation differently, exercising
+    # several permutation buckets at once.
+    relations = {}
+    specs = []
+    for arm in range(3):
+        name = f"R{arm+1}"
+        specs.append((name, (f"A{arm+1}", "B")))
+        relation = Relation(name, (f"A{arm+1}", "B"))
+        fat = 30 // (arm + 1)
+        for i in range(fat):
+            relation.add((i, 0), 1)
+        for i in range(10):
+            relation.add((100 + i, 1 + (i + arm) % 3), 1)
+        relations[name] = relation
+    query = TreeQuery(tuple(specs), frozenset({"A1", "A2", "A3"}))
+    instance = Instance(query, relations, COUNTING)
+    cluster, result = _run(instance)
+    _assert_matches(instance, result)
+
+
+def test_star_provenance_semiring():
+    from repro.semiring import monomial  # noqa: F401  (doc pointer)
+
+    def witness(tag):
+        return frozenset({frozenset({tag})})
+
+    relations = {}
+    specs = []
+    for arm in range(3):
+        name = f"R{arm+1}"
+        specs.append((name, (f"A{arm+1}", "B")))
+        relation = Relation(name, (f"A{arm+1}", "B"))
+        for i in range(6):
+            relation.add((i, i % 2), witness(f"{name}:{i}"))
+        relations[name] = relation
+    query = TreeQuery(tuple(specs), frozenset({"A1", "A2", "A3"}))
+    instance = Instance(query, relations, WHY_PROVENANCE)
+    cluster, result = _run(instance, p=4)
+    _assert_matches(instance, result)
+
+
+def test_star_requires_two_relations():
+    view = MPCCluster(2).view()
+    rel = DistRelation.load(view, Relation("R", ("A", "B"), [((0, 0), 1)]))
+    with pytest.raises(ValueError):
+        star_query([rel], ["A"], "B", COUNTING)
+
+
+def test_star_empty_bucket_handling():
+    # Disjoint centre domains: everything dangles away.
+    r1 = Relation("R1", ("A1", "B"), [((0, 0), 1)])
+    r2 = Relation("R2", ("A2", "B"), [((0, 1), 1)])
+    r3 = Relation("R3", ("A3", "B"), [((0, 0), 1)])
+    query = TreeQuery(
+        (("R1", ("A1", "B")), ("R2", ("A2", "B")), ("R3", ("A3", "B"))),
+        frozenset({"A1", "A2", "A3"}),
+    )
+    instance = Instance(query, {"R1": r1, "R2": r2, "R3": r3}, COUNTING)
+    cluster, result = _run(instance, p=4)
+    assert result.data.total_size == 0

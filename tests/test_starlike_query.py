@@ -1,0 +1,117 @@
+"""Star-like queries (§6) against the RAM oracle."""
+
+import random
+
+import pytest
+
+from repro.core.arms import extract_arms
+from repro.core.starlike import starlike_query
+from repro.data import DistRelation, Instance, TreeQuery
+from repro.mpc import MPCCluster
+from repro.ram import evaluate
+from repro.semiring import COUNTING
+from repro.workloads import starlike_instance
+from tests.conftest import SEMIRING_SAMPLERS
+
+
+def _run(instance, p=8):
+    cluster = MPCCluster(p)
+    view = cluster.view()
+    rels = {
+        name: DistRelation.load(view, instance.relation(name))
+        for name, _ in instance.query.relations
+    }
+    result = starlike_query(instance.query, rels, instance.semiring)
+    return cluster, result
+
+
+def _assert_matches(instance, result):
+    want = evaluate(instance)
+    got = result.collect("sl", instance.semiring)
+    assert result.schema == tuple(sorted(instance.query.output))
+    assert got.tuples == want.tuples
+
+
+@pytest.mark.parametrize(
+    "arm_lengths",
+    [[1, 1, 2], [2, 1, 1], [2, 2, 2], [1, 2, 3], [1, 1, 1, 2]],
+    ids=lambda a: "-".join(map(str, a)),
+)
+def test_starlike_arm_mixes(arm_lengths):
+    instance = starlike_instance(
+        arm_lengths, tuples=35, domain=8, seed=sum(arm_lengths)
+    )
+    assert instance.query.classify() == "star-like"
+    cluster, result = _run(instance)
+    _assert_matches(instance, result)
+
+
+@pytest.mark.parametrize(
+    "semiring,sampler", SEMIRING_SAMPLERS, ids=lambda x: getattr(x, "name", "")
+)
+def test_starlike_semirings(semiring, sampler):
+    rng = random.Random(99)
+    instance = starlike_instance(
+        [1, 2, 2], tuples=30, domain=7, seed=5, semiring=semiring,
+        weight_fn=lambda: sampler(rng),
+    )
+    cluster, result = _run(instance)
+    _assert_matches(instance, result)
+
+
+@pytest.mark.parametrize("p", [1, 4, 16])
+def test_starlike_any_cluster_size(p):
+    instance = starlike_instance([2, 1, 2], tuples=30, domain=8, seed=p)
+    cluster, result = _run(instance, p)
+    _assert_matches(instance, result)
+
+
+def test_starlike_delegates_line_queries():
+    # Two arms ⇒ a line query; the function must still produce the right
+    # answer through the §4 path.
+    instance = starlike_instance([2, 2], tuples=40, domain=9, seed=2)
+    assert instance.query.classify() == "line"
+    cluster, result = _run(instance)
+    _assert_matches(instance, result)
+
+
+def test_starlike_rejects_non_starlike():
+    query = TreeQuery(
+        (
+            ("Ra1", ("A1", "B1")),
+            ("Ra2", ("A2", "B1")),
+            ("Rm", ("B1", "B2")),
+            ("Rb1", ("A3", "B2")),
+            ("Rb2", ("A4", "B2")),
+        ),
+        frozenset({"A1", "A2", "A3", "A4"}),
+    )
+    view = MPCCluster(2).view()
+    with pytest.raises(ValueError):
+        starlike_query(query, {}, COUNTING)
+
+
+def test_extract_arms_structure():
+    instance = starlike_instance([1, 2, 3], tuples=10, domain=4, seed=1)
+    arms = extract_arms(instance.query, "B")
+    assert [len(arm) for arm in arms] == [1, 2, 3]
+    for arm in arms:
+        assert arm[0][1] == "B"  # every arm starts at the centre
+        # Steps chain: far attribute of step k == near attribute of k+1.
+        for (_n1, _near1, far1), (_n2, near2, _far2) in zip(arm, arm[1:]):
+            assert far1 == near2
+
+
+def test_extract_arms_rejects_branching():
+    query = TreeQuery(
+        (
+            ("R1", ("B", "C")),
+            ("R2", ("C", "A1")),
+            ("R3", ("C", "A2")),
+            ("R4", ("B", "A3")),
+            ("R5", ("B", "A4")),
+        ),
+        frozenset({"A1", "A2", "A3", "A4"}),
+    )
+    with pytest.raises(ValueError):
+        extract_arms(query, "B")

@@ -1,0 +1,95 @@
+"""Hypothesis property tests for the §7 structural operations.
+
+For *random* tree queries with random outputs: reduction must leave only
+output leaves, twig decomposition must produce genuine twigs covering all
+relations exactly once, and skeletons (when defined) must partition the
+twig into branches + residual.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import TreeQuery, reduction_plan, skeleton_info, twig_decomposition
+
+SETTINGS = settings(max_examples=120, deadline=None)
+
+
+@st.composite
+def tree_queries(draw, max_attrs=9):
+    m = draw(st.integers(min_value=2, max_value=max_attrs))
+    attrs = [f"X{i}" for i in range(m)]
+    relations = []
+    for i in range(1, m):
+        parent = attrs[draw(st.integers(min_value=0, max_value=i - 1))]
+        relations.append((f"R{i}", (parent, attrs[i])))
+    outputs = draw(st.sets(st.sampled_from(attrs)))
+    return TreeQuery(tuple(relations), frozenset(outputs))
+
+
+@SETTINGS
+@given(tree_queries())
+def test_reduction_leaves_are_output(query):
+    steps, reduced = reduction_plan(query)
+    if reduced.n > 1:
+        for leaf in reduced.leaves:
+            assert leaf in reduced.output
+    # Steps only ever absorb non-output attributes.
+    for step in steps:
+        assert step.aggregated_attr not in query.output
+    # Output attributes survive the reduction.
+    assert reduced.output == query.output & reduced.attributes
+    if query.output:
+        assert query.output <= set(reduced.attributes) or reduced.n == 1
+
+
+@SETTINGS
+@given(tree_queries())
+def test_reduction_is_idempotent(query):
+    _steps, reduced = reduction_plan(query)
+    again_steps, again = reduction_plan(reduced)
+    if reduced.n > 1:
+        assert again_steps == []
+        assert again == reduced
+
+
+@SETTINGS
+@given(tree_queries())
+def test_twig_decomposition_partitions_relations(query):
+    _steps, reduced = reduction_plan(query)
+    if reduced.n == 1:
+        return
+    twigs = twig_decomposition(reduced)
+    names = [name for twig in twigs for name, _ in twig.relations]
+    assert sorted(names) == sorted(name for name, _ in reduced.relations)
+    for twig in twigs:
+        assert twig.is_twig(), (twig.relations, twig.output)
+    # Consecutive twigs share a cut attribute (reassembly order).
+    seen = set(twigs[0].attributes)
+    for twig in twigs[1:]:
+        assert seen & set(twig.attributes)
+        seen |= set(twig.attributes)
+
+
+@SETTINGS
+@given(tree_queries())
+def test_skeleton_partitions_twig(query):
+    _steps, reduced = reduction_plan(query)
+    if reduced.n == 1:
+        return
+    for twig in twig_decomposition(reduced):
+        if twig.is_star_like():
+            continue
+        info = skeleton_info(twig)
+        branch_names = {
+            name for branch in info.branches.values() for name, _ in branch.relations
+        }
+        residual_names = {name for name, _ in info.residual_relations}
+        all_names = {name for name, _ in twig.relations}
+        assert branch_names | residual_names == all_names
+        assert not branch_names & residual_names
+        assert len(info.branch_roots) >= 2
+        for root in info.branch_roots:
+            branch = info.branches[root]
+            assert root in branch.attributes
+            # Branch outputs are exactly its share of the twig's outputs.
+            assert branch.output == frozenset(branch.attributes) & twig.output

@@ -1,0 +1,166 @@
+"""General tree queries (§7) against the RAM oracle."""
+
+import random
+
+import pytest
+
+from repro.core.tree import tree_query
+from repro.data import DistRelation, Instance, Relation, TreeQuery
+from repro.mpc import MPCCluster
+from repro.ram import evaluate
+from repro.semiring import COUNTING
+from repro.workloads import twig_instance
+from tests.conftest import (
+    GENERAL_TREE_QUERY,
+    SEMIRING_SAMPLERS,
+    TWIG_QUERY,
+    random_instance,
+)
+
+
+def _run(instance, p=8):
+    cluster = MPCCluster(p)
+    view = cluster.view()
+    rels = {
+        name: DistRelation.load(view, instance.relation(name))
+        for name, _ in instance.query.relations
+    }
+    result = tree_query(instance.query, rels, instance.semiring)
+    return cluster, result
+
+
+def _assert_matches(instance, result):
+    want = evaluate(instance)
+    got = result.collect("tree", instance.semiring)
+    assert result.schema == tuple(sorted(instance.query.output))
+    assert got.tuples == want.tuples
+
+
+@pytest.mark.parametrize(
+    "semiring,sampler", SEMIRING_SAMPLERS, ids=lambda x: getattr(x, "name", "")
+)
+def test_figure3_twig(semiring, sampler):
+    rng = random.Random(3)
+    instance = random_instance(TWIG_QUERY, 30, 7, rng, semiring, sampler)
+    cluster, result = _run(instance)
+    _assert_matches(instance, result)
+
+
+def test_long_bridge_twig():
+    instance = twig_instance(tuples=25, domain=6, seed=4, bridge_length=3)
+    cluster, result = _run(instance)
+    _assert_matches(instance, result)
+
+
+def test_reduction_heavy_tree():
+    rng = random.Random(5)
+    instance = random_instance(
+        GENERAL_TREE_QUERY, 35, 7, rng, COUNTING, lambda r: r.randint(1, 3)
+    )
+    cluster, result = _run(instance)
+    _assert_matches(instance, result)
+
+
+def test_multiple_twigs_with_output_bridge():
+    query = TreeQuery(
+        (
+            ("Ra1", ("A1", "B1")),
+            ("Ra2", ("A2", "B1")),
+            ("Rm", ("B1", "K")),
+            ("Rn", ("K", "B2")),
+            ("Rb1", ("A3", "B2")),
+            ("Rb2", ("A4", "B2")),
+        ),
+        frozenset({"A1", "A2", "A3", "A4", "K"}),
+    )
+    rng = random.Random(6)
+    instance = random_instance(query, 22, 5, rng, COUNTING, lambda r: 1)
+    cluster, result = _run(instance)
+    _assert_matches(instance, result)
+
+
+def test_three_branch_roots():
+    query = TreeQuery(
+        (
+            ("Ra1", ("A1", "B1")),
+            ("Ra2", ("A2", "B1")),
+            ("Rm1", ("B1", "B3")),
+            ("Rx", ("B3", "A5")),
+            ("Rm2", ("B3", "B2")),
+            ("Rb1", ("A3", "B2")),
+            ("Rb2", ("A4", "B2")),
+        ),
+        frozenset({"A1", "A2", "A3", "A4", "A5"}),
+    )
+    rng = random.Random(7)
+    instance = random_instance(query, 16, 4, rng, COUNTING, lambda r: r.randint(1, 2))
+    cluster, result = _run(instance)
+    _assert_matches(instance, result)
+
+
+def test_scalar_aggregate_query():
+    query = TreeQuery(
+        (("R1", ("A", "B")), ("R2", ("B", "C"))), frozenset()
+    )
+    r1 = Relation("R1", ("A", "B"), [((0, 0), 2), ((1, 0), 3)])
+    r2 = Relation("R2", ("B", "C"), [((0, 0), 1), ((0, 1), 4)])
+    instance = Instance(query, {"R1": r1, "R2": r2}, COUNTING)
+    cluster, result = _run(instance, p=4)
+    assert dict(result.data.collect()) == {(): (2 + 3) * (1 + 4)}
+
+
+def test_empty_result_short_circuits():
+    r1 = Relation("R1", ("A1", "B1"), [((0, 0), 1)])
+    relations = {
+        "Ra1": r1,
+        "Ra2": Relation("Ra2", ("A2", "B1"), [((0, 1), 1)]),  # disjoint B1
+        "Rm": Relation("Rm", ("B1", "B2"), [((0, 0), 1)]),
+        "Rb1": Relation("Rb1", ("A3", "B2"), [((0, 0), 1)]),
+        "Rb2": Relation("Rb2", ("A4", "B2"), [((0, 0), 1)]),
+    }
+    relations["Ra1"] = Relation("Ra1", ("A1", "B1"), [((0, 0), 1)])
+    instance = Instance(TWIG_QUERY, relations, COUNTING)
+    cluster, result = _run(instance, p=4)
+    assert result.data.total_size == 0
+
+
+def test_single_relation_after_reduction():
+    # Non-output leaves collapse everything into one relation.
+    query = TreeQuery(
+        (("R1", ("A", "B")), ("R2", ("B", "C"))), frozenset({"A"})
+    )
+    r1 = Relation("R1", ("A", "B"), [((0, 0), 2), ((1, 1), 3)])
+    r2 = Relation("R2", ("B", "C"), [((0, 0), 5), ((0, 1), 7), ((1, 0), 11)])
+    instance = Instance(query, {"R1": r1, "R2": r2}, COUNTING)
+    cluster, result = _run(instance, p=4)
+    want = evaluate(instance)
+    assert dict(result.data.collect()) == dict(want.tuples)
+
+
+@pytest.mark.parametrize("p", [1, 4, 16])
+def test_tree_any_cluster_size(p):
+    rng = random.Random(p)
+    instance = random_instance(TWIG_QUERY, 24, 6, rng, COUNTING, lambda r: 1)
+    cluster, result = _run(instance, p)
+    _assert_matches(instance, result)
+
+
+def test_deep_mixed_tree():
+    # Mixed non-output leaves, output bridge, and a twig — hits reduction,
+    # decomposition, and the recursion together.
+    query = TreeQuery(
+        (
+            ("R1", ("A1", "B1")),
+            ("R2", ("A2", "B1")),
+            ("R3", ("B1", "K")),
+            ("R4", ("K", "B2")),
+            ("R5", ("A3", "B2")),
+            ("R6", ("B2", "Z")),     # Z is a non-output leaf → reduction
+            ("R7", ("A3", "W")),     # W non-output leaf off an output attr
+        ),
+        frozenset({"A1", "A2", "A3", "K"}),
+    )
+    rng = random.Random(11)
+    instance = random_instance(query, 18, 4, rng, COUNTING, lambda r: r.randint(1, 2))
+    cluster, result = _run(instance)
+    _assert_matches(instance, result)

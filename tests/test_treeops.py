@@ -1,0 +1,141 @@
+"""Structural operations of §7: reduction, twig decomposition, skeletons.
+
+These tests reproduce the worked structures of Figures 2 and 3 (experiment
+E10 of DESIGN.md).
+"""
+
+import pytest
+
+from repro.data import TreeQuery, reduction_plan, skeleton_info, twig_decomposition
+from tests.conftest import GENERAL_TREE_QUERY, STAR3_QUERY, TWIG_QUERY
+
+
+def test_reduction_absorbs_non_output_leaves():
+    steps, reduced = reduction_plan(GENERAL_TREE_QUERY)
+    # D and E are non-output leaves: R3(C,D) and R4(B,E) get absorbed.
+    absorbed = {step.relation for step in steps}
+    assert absorbed == {"R3", "R4"}
+    for step in steps:
+        assert step.aggregated_attr in ("D", "E")
+        assert step.shared_attr in ("C", "B")
+    assert {name for name, _ in reduced.relations} == {"R1", "R2"}
+    # After reduction, every leaf is an output attribute.
+    assert all(a in reduced.output for a in reduced.leaves)
+
+
+def test_reduction_noop_on_twig():
+    steps, reduced = reduction_plan(TWIG_QUERY)
+    assert steps == []
+    assert reduced == TWIG_QUERY
+
+
+def test_reduction_of_scalar_aggregate_stops_at_one_relation():
+    query = TreeQuery(
+        (("R1", ("A", "B")), ("R2", ("B", "C"))), frozenset()
+    )
+    steps, reduced = reduction_plan(query)
+    assert reduced.n == 1
+    assert len(steps) == 1
+
+
+def test_twig_decomposition_cuts_at_non_leaf_outputs():
+    # Figure 2 pattern: output K sits on the bridge between two stars.
+    query = TreeQuery(
+        (
+            ("Ra1", ("A1", "B1")),
+            ("Ra2", ("A2", "B1")),
+            ("Rm", ("B1", "K")),
+            ("Rn", ("K", "B2")),
+            ("Rb1", ("A3", "B2")),
+            ("Rb2", ("A4", "B2")),
+        ),
+        frozenset({"A1", "A2", "A3", "A4", "K"}),
+    )
+    twigs = twig_decomposition(query)
+    assert len(twigs) == 2
+    for twig in twigs:
+        assert twig.is_twig()
+        assert "K" in twig.output  # the cut attribute is output in both twigs
+    # Consecutive twigs share an attribute (reassembly order).
+    assert set(twigs[0].attributes) & set(twigs[1].attributes)
+
+
+def test_twig_decomposition_single_twig_when_no_cuts():
+    twigs = twig_decomposition(TWIG_QUERY)
+    assert len(twigs) == 1
+    assert twigs[0].relations == TWIG_QUERY.relations
+
+
+def test_twig_property_holds_for_all_twigs():
+    query = TreeQuery(
+        (
+            ("R1", ("A", "B")),
+            ("R2", ("B", "C")),
+            ("R3", ("C", "D")),
+        ),
+        frozenset({"A", "C", "D"}),  # C is a non-leaf output → cut
+    )
+    twigs = twig_decomposition(query)
+    assert len(twigs) == 2
+    for twig in twigs:
+        assert twig.output == twig.leaves
+
+
+def test_skeleton_of_figure3_twig():
+    info = skeleton_info(TWIG_QUERY)
+    assert info.v_star == frozenset({"B1", "B2"})
+    assert set(info.branch_roots) == {"B1", "B2"}
+    assert info.tv_star == frozenset({"B1", "B2"})
+    # Each branch is the star-like component hanging at its root.
+    b1 = info.branches["B1"]
+    assert {name for name, _ in b1.relations} == {"Ra1", "Ra2"}
+    assert b1.output == frozenset({"A1", "A2"})
+    b2 = info.branches["B2"]
+    assert {name for name, _ in b2.relations} == {"Rb1", "Rb2"}
+    assert b2.output == frozenset({"A3", "A4"})
+    # The residual is the bridge.
+    assert [name for name, _ in info.residual_relations] == ["Rm"]
+
+
+def test_skeleton_with_long_bridge():
+    query = TreeQuery(
+        (
+            ("Ra1", ("A1", "B1")),
+            ("Ra2", ("A2", "B1")),
+            ("Rm1", ("B1", "K")),
+            ("Rm2", ("K", "B2")),
+            ("Rb1", ("A3", "B2")),
+            ("Rb2", ("A4", "B2")),
+        ),
+        frozenset({"A1", "A2", "A3", "A4"}),
+    )
+    info = skeleton_info(query)
+    assert info.v_star == frozenset({"B1", "B2"})
+    assert info.tv_star == frozenset({"B1", "K", "B2"})
+    assert {name for name, _ in info.residual_relations} == {"Rm1", "Rm2"}
+
+
+def test_skeleton_rejects_star_like():
+    with pytest.raises(ValueError):
+        skeleton_info(STAR3_QUERY)
+
+
+def test_skeleton_with_internal_arm():
+    # An output arm hanging off an internal v_star vertex stays in the
+    # residual (it is not contracted into any branch).
+    query = TreeQuery(
+        (
+            ("Ra1", ("A1", "B1")),
+            ("Ra2", ("A2", "B1")),
+            ("Rm1", ("B1", "B3")),
+            ("Rx", ("B3", "A5")),
+            ("Rm2", ("B3", "B2")),
+            ("Rb1", ("A3", "B2")),
+            ("Rb2", ("A4", "B2")),
+        ),
+        frozenset({"A1", "A2", "A3", "A4", "A5"}),
+    )
+    info = skeleton_info(query)
+    assert info.v_star == frozenset({"B1", "B2", "B3"})
+    assert set(info.branch_roots) == {"B1", "B2"}  # B3 is internal
+    assert {name for name, _ in info.residual_relations} == {"Rm1", "Rm2", "Rx"}

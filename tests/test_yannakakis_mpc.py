@@ -1,0 +1,97 @@
+"""Distributed Yannakakis baseline (§1.4) against the RAM oracle."""
+
+import random
+
+import pytest
+
+from repro.core.yannakakis_mpc import yannakakis_mpc
+from repro.data import Instance, Relation, TreeQuery
+from repro.mpc import MPCCluster
+from repro.ram import evaluate, run_yannakakis
+from repro.semiring import COUNTING
+from tests.conftest import (
+    GENERAL_TREE_QUERY,
+    LINE3_QUERY,
+    MATMUL_QUERY,
+    SEMIRING_SAMPLERS,
+    STAR3_QUERY,
+    TWIG_QUERY,
+    canonicalize,
+    random_instance,
+)
+
+ALL_QUERIES = [MATMUL_QUERY, LINE3_QUERY, STAR3_QUERY, TWIG_QUERY, GENERAL_TREE_QUERY]
+
+
+@pytest.mark.parametrize("query", ALL_QUERIES, ids=lambda q: q.classify())
+@pytest.mark.parametrize(
+    "semiring,sampler", SEMIRING_SAMPLERS, ids=lambda x: getattr(x, "name", "")
+)
+def test_baseline_matches_oracle(query, semiring, sampler):
+    rng = random.Random(hash((query.classify(), getattr(semiring, "name", ""))) & 0xFFFF)
+    instance = random_instance(query, 60, 7, rng, semiring, sampler)
+    cluster = MPCCluster(8)
+    got = yannakakis_mpc(instance, cluster.view())
+    want = evaluate(instance)
+    schema = tuple(sorted(query.output))
+    assert canonicalize(got, schema, semiring).tuples == canonicalize(
+        want, schema, semiring
+    ).tuples
+
+
+@pytest.mark.parametrize("p", [1, 2, 5, 16])
+def test_baseline_any_cluster_size(p):
+    rng = random.Random(p * 31)
+    instance = random_instance(
+        LINE3_QUERY, 70, 9, rng, COUNTING, lambda r: r.randint(1, 3)
+    )
+    cluster = MPCCluster(p)
+    got = yannakakis_mpc(instance, cluster.view())
+    assert got.same_contents(evaluate(instance))
+
+
+def test_baseline_empty_result():
+    r1 = Relation("R1", ("A", "B"), [((0, 0), 1)])
+    r2 = Relation("R2", ("B", "C"), [((1, 1), 1)])
+    instance = Instance(MATMUL_QUERY, {"R1": r1, "R2": r2}, COUNTING)
+    cluster = MPCCluster(4)
+    got = yannakakis_mpc(instance, cluster.view())
+    assert len(got) == 0
+
+
+def test_baseline_single_relation_query():
+    query = TreeQuery((("R", ("A", "B")),), frozenset({"A"}))
+    relation = Relation("R", ("A", "B"), [((0, 0), 2), ((0, 1), 3), ((1, 0), 4)])
+    instance = Instance(query, {"R": relation}, COUNTING)
+    cluster = MPCCluster(4)
+    got = yannakakis_mpc(instance, cluster.view())
+    assert got.tuples == {(0,): 5, (1,): 4}
+
+
+def test_baseline_load_tracks_intermediate_size():
+    # The baseline's load is Θ(J/p): a high-J instance must load ≈ J/p.
+    n = 40
+    r1 = Relation("R1", ("A", "B"), [((i, 0), 1) for i in range(n)])
+    r2 = Relation("R2", ("B", "C"), [((0, j), 1) for j in range(n)])
+    instance = Instance(MATMUL_QUERY, {"R1": r1, "R2": r2}, COUNTING)
+    _oracle, j = run_yannakakis(instance)
+    p = 8
+    cluster = MPCCluster(p)
+    yannakakis_mpc(instance, cluster.view())
+    load = cluster.report().max_load
+    assert j == n * n
+    assert load >= j / p / 8  # within a generous constant of J/p
+    assert load <= 8 * j / p + instance.total_size
+
+
+def test_baseline_rounds_constant_in_data_size():
+    rounds = []
+    for tuples in (30, 120):
+        rng = random.Random(tuples)
+        instance = random_instance(
+            STAR3_QUERY, tuples, 8, rng, COUNTING, lambda r: 1
+        )
+        cluster = MPCCluster(8)
+        yannakakis_mpc(instance, cluster.view())
+        rounds.append(cluster.report().rounds)
+    assert rounds[0] == rounds[1]  # rounds depend on the query, not the data
