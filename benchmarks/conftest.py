@@ -5,7 +5,7 @@ import sys
 
 sys.path.insert(0, os.path.dirname(__file__))
 
-from harness import registry, write_results  # noqa: E402
+from harness import registry, write_results, write_results_json  # noqa: E402
 
 
 def pytest_terminal_summary(terminalreporter):
@@ -17,4 +17,8 @@ def pytest_terminal_summary(terminalreporter):
         terminalreporter.write_line(line)
     results_path = os.path.join(os.path.dirname(__file__), "results.md")
     write_results(results_path)
-    terminalreporter.write_line(f"\n[tables also written to {results_path}]")
+    json_path = os.path.join(os.path.dirname(__file__), "results.json")
+    write_results_json(json_path)
+    terminalreporter.write_line(
+        f"\n[tables also written to {results_path} and {json_path}]"
+    )

@@ -4,17 +4,32 @@ Benchmarks measure the paper's cost metric — the simulated cluster's *load*
 ``L`` — not wall-clock time (wall-clock of a simulator is meaningless; the
 ``pytest-benchmark`` timings are reported only as run-cost context).  Each
 experiment records rows into a global registry; a pytest hook prints every
-table at the end of the session and appends it to ``benchmarks/results.md``
-so EXPERIMENTS.md can cite the numbers.
+table at the end of the session and rewrites ``benchmarks/results.md`` with
+the latest run on top plus a dated history of earlier runs, and writes the
+same data machine-readably to ``benchmarks/results.json`` for CI trend
+tracking.  EXPERIMENTS.md cites the numbers.
 """
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from datetime import datetime
+from typing import Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["ExperimentTable", "registry", "format_table"]
+__all__ = [
+    "ExperimentTable",
+    "registry",
+    "format_table",
+    "write_results",
+    "write_results_json",
+]
+
+_LATEST_HEADER = "## Latest run — "
+_HISTORY_HEADER = "## History"
+#: Dated entries kept in the history section (oldest are dropped).
+HISTORY_LIMIT = 9
 
 
 @dataclass
@@ -67,9 +82,82 @@ def format_table(table: ExperimentTable) -> str:
     return "\n".join(lines)
 
 
-def write_results(path: str) -> None:
+def _parse_existing(text: str) -> Tuple[Optional[str], str, List[str]]:
+    """Split an existing results.md into (latest_stamp, latest_body, history).
+
+    Pre-history files (plain table dumps) become one undated history entry.
+    """
+    history_index = text.find("\n" + _HISTORY_HEADER)
+    if history_index >= 0:
+        head, tail = text[:history_index], text[history_index + 1 + len(_HISTORY_HEADER):]
+    else:
+        head, tail = text, ""
+    entries = [f"### {entry.strip()}" for entry in tail.split("\n### ") if entry.strip()]
+
+    latest_index = head.find(_LATEST_HEADER)
+    if latest_index < 0:
+        body = head.strip()
+        if body:
+            return None, body, entries
+        return None, "", entries
+    after = head[latest_index + len(_LATEST_HEADER):]
+    stamp, _, body = after.partition("\n")
+    return stamp.strip(), body.strip(), entries
+
+
+def write_results(path: str, now: Optional[str] = None) -> None:
+    """Write ``results.md``: the latest run's tables plus a dated history.
+
+    The previous latest run (if any) is folded into the ``## History``
+    section, capped at :data:`HISTORY_LIMIT` entries so the file stays
+    reviewable.
+    """
     if not registry.tables:
         return
     os.makedirs(os.path.dirname(path), exist_ok=True)
+    stamp = now or datetime.now().isoformat(timespec="seconds")
+
+    history: List[str] = []
+    if os.path.exists(path):
+        previous_stamp, previous_body, history = _parse_existing(open(path).read())
+        if previous_body:
+            label = previous_stamp or "(undated earlier run)"
+            history.insert(0, f"### Run — {label}\n\n{previous_body}")
+    history = history[:HISTORY_LIMIT]
+
+    parts = [
+        "# Benchmark results",
+        "",
+        "Measured-load tables from `pytest benchmarks/` (see harness.py);",
+        "machine-readable copy in `results.json`.",
+        "",
+        f"{_LATEST_HEADER}{stamp}",
+        "",
+        registry.render_all(),
+    ]
+    if history:
+        parts += ["", _HISTORY_HEADER, "", "\n\n".join(history)]
     with open(path, "w") as handle:
-        handle.write(registry.render_all() + "\n")
+        handle.write("\n".join(parts) + "\n")
+
+
+def write_results_json(path: str, now: Optional[str] = None) -> None:
+    """Write ``results.json``: every table as structured data for CI trends."""
+    if not registry.tables:
+        return
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    stamp = now or datetime.now().isoformat(timespec="seconds")
+    document = {
+        "generated": stamp,
+        "tables": {
+            experiment_id: {
+                "caption": table.caption,
+                "header": list(table.header),
+                "rows": [list(row) for row in table.rows],
+            }
+            for experiment_id, table in sorted(registry.tables.items())
+        },
+    }
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")

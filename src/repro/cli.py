@@ -1,22 +1,42 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Two commands aimed at kicking the tires without writing code:
+Commands aimed at kicking the tires without writing code:
 
 * ``compare`` — generate an instance from one of the built-in workload
   families, run the distributed Yannakakis baseline and the paper's
   algorithm, and print both cost reports side by side;
-* ``sweep`` — the same across a sweep of the family's size knob, printing a
-  Table-1-style series.
+* ``sweep`` — the same across a sweep of the family's size knob (OUT for
+  ``matmul``, ``--tuples`` for every other family), printing a
+  Table-1-style series;
+* ``table1`` — the paper's Table 1 with measured loads;
+* ``trace`` — run one instance with the observability layer on: dump a
+  JSONL trace (see docs/observability.md for the schema) and print an
+  ASCII per-round × per-server load heatmap plus skew statistics.
+
+``compare``/``sweep``/``table1`` accept ``--json`` (machine-readable
+output on stdout) and ``--trace-out PATH`` (JSONL trace of the paper
+algorithm's runs).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Callable, Dict
+from typing import Any, Callable, Dict, List, Optional
 
 from .core.executor import run_query
 from .data.query import Instance
+from .mpc.cluster import MPCCluster
+from .obs import (
+    JsonlSink,
+    RingBufferSink,
+    Tracer,
+    load_matrix_from_events,
+    per_round_stats,
+    render_heatmap,
+    skew_stats,
+)
 from .workloads import (
     bowtie_line,
     line_instance,
@@ -69,11 +89,22 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--p", type=int, default=16, help="number of servers")
         p.add_argument("--seed", type=int, default=0)
 
+    def add_export(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--json", action="store_true",
+                       help="print a machine-readable JSON document instead of tables")
+        p.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="write a JSONL trace of the paper algorithm's run(s)")
+
     compare = sub.add_parser("compare", help="baseline vs paper algorithm, one instance")
     add_common(compare)
+    add_export(compare)
 
-    sweep = sub.add_parser("sweep", help="sweep OUT (matmul family) and print the series")
+    sweep = sub.add_parser(
+        "sweep",
+        help="sweep the family's size knob (OUT for matmul, --tuples otherwise)",
+    )
     add_common(sweep)
+    add_export(sweep)
     sweep.add_argument("--points", type=int, default=4)
 
     table1 = sub.add_parser(
@@ -82,6 +113,19 @@ def _build_parser() -> argparse.ArgumentParser:
     table1.add_argument("--p", type=int, default=16)
     table1.add_argument("--scale", type=int, default=300,
                         help="instance size knob (tuples per relation)")
+    add_export(table1)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run one instance with tracing on: JSONL trace + ASCII load heatmap",
+    )
+    add_common(trace)
+    trace.add_argument("--algorithm", default="auto",
+                       help="algorithm to trace (default: the paper's choice)")
+    trace.add_argument("--trace-out", default="repro-trace.jsonl", metavar="PATH",
+                       help="JSONL trace destination (default: %(default)s)")
+    trace.add_argument("--json", action="store_true",
+                       help="print the run summary as JSON instead of the heatmap")
 
     return parser
 
@@ -92,38 +136,113 @@ def _print_report(label: str, result) -> None:
           f"rounds={report.rounds:<4} products={report.elementary_products}")
 
 
+def _tracer_for(args: argparse.Namespace) -> Optional[Tracer]:
+    """A JSONL-backed tracer when ``--trace-out`` was given, else None."""
+    if getattr(args, "trace_out", None) is None:
+        return None
+    return Tracer([JsonlSink(args.trace_out)])
+
+
 def _command_compare(args: argparse.Namespace) -> int:
     instance = _families()[args.family](args)
-    print(f"family={args.family}  N={instance.total_size}  p={args.p}  "
-          f"class={instance.query.classify()}")
+    tracer = _tracer_for(args)
+    if not args.json:
+        print(f"family={args.family}  N={instance.total_size}  p={args.p}  "
+              f"class={instance.query.classify()}")
     baseline = run_query(instance, p=args.p, algorithm="yannakakis")
-    ours = run_query(instance, p=args.p, algorithm="auto")
+    cluster = None
+    if tracer is not None:
+        tracer.scope = args.family
+        cluster = MPCCluster(args.p, tracer=tracer)
+    ours = run_query(instance, p=args.p, cluster=cluster, algorithm="auto")
+    if tracer is not None:
+        tracer.close()
     if baseline.relation.tuples != ours.relation.tuples:
         print("ERROR: algorithms disagree!", file=sys.stderr)
         return 1
+    speedup = baseline.report.max_load / max(1, ours.report.max_load)
+    if args.json:
+        print(json.dumps({
+            "family": args.family,
+            "p": args.p,
+            "input_size": instance.total_size,
+            "query_class": ours.query_class,
+            "algorithm": ours.algorithm,
+            "out_size": ours.out_size,
+            "baseline": baseline.report.to_dict(),
+            "ours": ours.report.to_dict(),
+            "speedup": speedup,
+            "trace_out": args.trace_out,
+        }, indent=2))
+        return 0
     print(f"OUT={ours.out_size}")
     _print_report("distributed Yannakakis (baseline)", baseline)
     _print_report(f"paper algorithm ({ours.algorithm})", ours)
-    speedup = baseline.report.max_load / max(1, ours.report.max_load)
     print(f"load speedup: {speedup:.2f}×")
+    if args.trace_out:
+        print(f"trace written to {args.trace_out}")
     return 0
 
 
 def _command_sweep(args: argparse.Namespace) -> int:
-    if args.family != "matmul":
-        print("sweep currently supports --family matmul", file=sys.stderr)
-        return 2
+    """Sweep OUT for ``matmul``; sweep ``--tuples`` (doubling) otherwise."""
+    tracer = _tracer_for(args)
+    matmul = args.family == "matmul"
+    knob_name = "OUT" if matmul else "tuples"
+    points: List[Dict[str, Any]] = []
+
     n = args.tuples
-    print(f"{'OUT':>10} {'L(yann)':>10} {'L(ours)':>10} {'speedup':>8}")
     out = n
+    tuples = args.tuples
     for _ in range(args.points):
-        instance = planted_out_matmul(n=n, out=min(out, n * n))
+        if matmul:
+            knob = min(out, n * n)
+            instance = planted_out_matmul(n=n, out=knob)
+        else:
+            knob = tuples
+            args.tuples = tuples
+            try:
+                instance = _families()[args.family](args)
+            except ValueError as error:
+                # e.g. doubling --tuples past the family's domain capacity.
+                print(f"sweep stopped at {knob_name.lower()}={knob}: {error} "
+                      f"(try a larger --domain)", file=sys.stderr)
+                break
+        if tracer is not None:
+            tracer.scope = f"{args.family}/{knob_name}={knob}"
+        cluster = MPCCluster(args.p, tracer=tracer) if tracer is not None else None
         baseline = run_query(instance, p=args.p, algorithm="yannakakis")
-        ours = run_query(instance, p=args.p, algorithm="auto")
-        speedup = baseline.report.max_load / max(1, ours.report.max_load)
-        print(f"{ours.out_size:>10} {baseline.report.max_load:>10} "
-              f"{ours.report.max_load:>10} {speedup:>8.2f}")
+        ours = run_query(instance, p=args.p, cluster=cluster, algorithm="auto")
+        points.append({
+            knob_name.lower(): knob,
+            "input_size": instance.total_size,
+            "out_size": ours.out_size,
+            "baseline_load": baseline.report.max_load,
+            "new_load": ours.report.max_load,
+            "speedup": baseline.report.max_load / max(1, ours.report.max_load),
+        })
         out *= 8
+        tuples *= 2
+    if tracer is not None:
+        tracer.close()
+    if not points:
+        return 1
+
+    if args.json:
+        print(json.dumps({
+            "family": args.family,
+            "p": args.p,
+            "knob": knob_name.lower(),
+            "points": points,
+            "trace_out": args.trace_out,
+        }, indent=2))
+        return 0
+    print(f"{knob_name:>10} {'L(yann)':>10} {'L(ours)':>10} {'speedup':>8}")
+    for point in points:
+        print(f"{point[knob_name.lower()]:>10} {point['baseline_load']:>10} "
+              f"{point['new_load']:>10} {point['speedup']:>8.2f}")
+    if args.trace_out:
+        print(f"trace written to {args.trace_out}")
     return 0
 
 
@@ -131,11 +250,23 @@ def _command_table1(args: argparse.Namespace) -> int:
     """One adversarial instance per Table-1 row, baseline vs new algorithm."""
     from .reporting import table1_report
 
+    tracer = _tracer_for(args)
     try:
-        rows = table1_report(scale=args.scale, p=args.p)
+        rows = table1_report(scale=args.scale, p=args.p, tracer=tracer)
     except AssertionError as error:
         print(f"ERROR: {error}", file=sys.stderr)
         return 1
+    finally:
+        if tracer is not None:
+            tracer.close()
+    if args.json:
+        print(json.dumps({
+            "p": args.p,
+            "scale": args.scale,
+            "rows": [row.to_dict() for row in rows],
+            "trace_out": args.trace_out,
+        }, indent=2))
+        return 0
     print(f"Table 1 reproduction (p={args.p}, scale={args.scale}); "
           f"loads are measured\n")
     print(f"{'query':>8} {'N':>7} {'OUT':>9} {'L(yann)':>9} {'L(ours)':>9} {'speedup':>8}")
@@ -144,6 +275,69 @@ def _command_table1(args: argparse.Namespace) -> int:
             f"{row.label:>8} {row.input_size:>7} {row.out_size:>9} "
             f"{row.baseline_load:>9} {row.new_load:>9} {row.speedup:>8.2f}"
         )
+    if args.trace_out:
+        print(f"trace written to {args.trace_out}")
+    return 0
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    instance = _families()[args.family](args)
+    ring = RingBufferSink()
+    sinks = [ring]
+    if args.trace_out:
+        sinks.append(JsonlSink(args.trace_out))
+    tracer = Tracer(sinks, scope=args.family)
+    cluster = MPCCluster(args.p, tracer=tracer)
+    try:
+        result = run_query(instance, cluster=cluster, algorithm=args.algorithm)
+    except (KeyError, ValueError) as error:
+        print(f"ERROR: cannot run {args.algorithm!r} on family "
+              f"{args.family!r}: {error}", file=sys.stderr)
+        return 2
+    finally:
+        tracer.close()
+
+    report = result.report
+    events = ring.events
+    matrix, servers = load_matrix_from_events(events)
+    rounds = per_round_stats(matrix)
+    overall = skew_stats([value for row in matrix for value in row])
+    peak_round = max(range(len(rounds)), key=lambda r: rounds[r].max, default=0)
+
+    if args.json:
+        print(json.dumps({
+            "family": args.family,
+            "p": args.p,
+            "algorithm": result.algorithm,
+            "query_class": result.query_class,
+            "input_size": instance.total_size,
+            "out_size": result.out_size,
+            "report": report.to_dict(),
+            "events": len(events),
+            "trace_out": args.trace_out or None,
+            "per_round": [stats.to_dict() for stats in rounds],
+            "overall_skew": overall.to_dict(),
+            "peak_round": peak_round,
+        }, indent=2))
+        return 0
+
+    print(f"family={args.family}  N={instance.total_size}  p={args.p}  "
+          f"algorithm={result.algorithm}  OUT={result.out_size}")
+    print(f"load L={report.max_load}  comm={report.total_communication}  "
+          f"rounds={report.rounds}  products={report.elementary_products}")
+    if args.trace_out:
+        print(f"trace: {len(events)} events -> {args.trace_out}")
+    print()
+    print(render_heatmap(matrix, servers))
+    print()
+    if rounds:
+        peak = rounds[peak_round]
+        print(f"peak round {peak_round}: max={peak.max} mean={peak.mean:.1f} "
+              f"p95={peak.p95} imbalance={peak.imbalance:.2f} gini={peak.gini:.2f}")
+    if report.phases:
+        print("phase loads: " + "  ".join(
+            f"{label}={load}" for label, load in report.phases
+        ))
     return 0
 
 
@@ -156,6 +350,8 @@ def main(argv=None) -> int:
         return _command_sweep(args)
     if args.command == "table1":
         return _command_table1(args)
+    if args.command == "trace":
+        return _command_trace(args)
     return 2  # pragma: no cover
 
 

@@ -84,6 +84,10 @@ def run_query(
             "tree": "tree",
         }[query_class]
 
+    tracer = cluster.tracker.tracer
+    if tracer is not None:
+        tracer.label = chosen
+
     distributed = _dispatch(chosen, instance, view)
     out_schema = tuple(sorted(query.output))
     if distributed.schema != out_schema:

@@ -29,14 +29,20 @@ __all__ = ["MPCCluster", "ClusterView"]
 
 
 class MPCCluster:
-    """A simulated cluster of ``p`` interconnected servers."""
+    """A simulated cluster of ``p`` interconnected servers.
 
-    def __init__(self, p: int, seed: int = 0) -> None:
+    ``tracer`` (a :class:`repro.obs.events.Tracer`, optional) turns on the
+    structured event stream: every exchange/broadcast/gather/transfer and
+    every ``run_parallel`` wave emits one event.  Without it, operations pay
+    only a ``None`` check — the metered load ``L`` is identical either way.
+    """
+
+    def __init__(self, p: int, seed: int = 0, tracer: Optional[Any] = None) -> None:
         if p < 1:
             raise ValueError("cluster needs at least one server")
         self.p = p
         self.seed = seed
-        self.tracker = LoadTracker()
+        self.tracker = LoadTracker(tracer=tracer)
 
     def view(self) -> "ClusterView":
         """The root view over all ``p`` servers, cursor at the current round."""
@@ -78,13 +84,19 @@ class ClusterView:
 
     # -- communication ---------------------------------------------------------
 
-    def exchange(self, outboxes: Sequence[Iterable[Tuple[int, Any]]]) -> List[List[Any]]:
+    def exchange(
+        self,
+        outboxes: Sequence[Iterable[Tuple[int, Any]]],
+        *,
+        op: str = "exchange",
+    ) -> List[List[Any]]:
         """One communication round within this view.
 
         ``outboxes[i]`` holds ``(dest_local_index, item)`` messages emitted by
         local server ``i``.  Returns the per-server inboxes.  Charges every
         delivery to the receiving server at the current round, then advances
-        the cursor.
+        the cursor.  ``op`` only labels the trace event (``gather`` routes
+        through here and tags itself).
         """
         if len(outboxes) != self.p:
             raise RoutingError(f"expected {self.p} outboxes, got {len(outboxes)}")
@@ -99,6 +111,15 @@ class ClusterView:
         for local_index, inbox in enumerate(inboxes):
             tracker.record_receive(round_index, self.servers[local_index], len(inbox))
         tracker.note_round(round_index)
+        tracer = tracker.tracer
+        if tracer is not None and tracer.active:
+            tracer.emit(
+                op,
+                round_index,
+                self.servers,
+                tuple(len(inbox) for inbox in inboxes),
+                tracker.phase_path(),
+            )
         self.round = round_index + 1
         return inboxes
 
@@ -106,10 +127,12 @@ class ClusterView:
         self,
         parts: Sequence[Sequence[Any]],
         dest_fn: Callable[[Any], int],
+        *,
+        op: str = "exchange",
     ) -> List[List[Any]]:
         """Reshuffle: send every item to ``dest_fn(item)`` (a local index)."""
         outboxes = [[(dest_fn(item), item) for item in part] for part in parts]
-        return self.exchange(outboxes)
+        return self.exchange(outboxes, op=op)
 
     def route_multi(
         self,
@@ -130,15 +153,25 @@ class ClusterView:
         """
         everything = [item for part in parts for item in part]
         round_index = self.round
+        tracker = self.tracker
         for server in self.servers:
-            self.tracker.record_receive(round_index, server, len(everything))
-        self.tracker.note_round(round_index)
+            tracker.record_receive(round_index, server, len(everything))
+        tracker.note_round(round_index)
+        tracer = tracker.tracer
+        if tracer is not None and tracer.active:
+            tracer.emit(
+                "broadcast",
+                round_index,
+                self.servers,
+                (len(everything),) * self.p,
+                tracker.phase_path(),
+            )
         self.round = round_index + 1
         return everything
 
     def gather(self, parts: Sequence[Sequence[Any]], dest: int = 0) -> List[Any]:
         """Bring all items to one server (charged there); one round."""
-        inboxes = self.route(parts, lambda item: dest)
+        inboxes = self.route(parts, lambda item: dest, op="gather")
         return inboxes[dest]
 
     # -- coordinator/control channel --------------------------------------------
@@ -215,5 +248,19 @@ class ClusterView:
                 results[task_index] = tasks[task_index](branch)
                 deepest = max(deepest, branch.round)
                 offset += width
+            tracer = self.tracker.tracer
+            if tracer is not None and tracer.active:
+                tracer.emit(
+                    "parallel-wave",
+                    base_round,
+                    self.servers,
+                    (),
+                    self.tracker.phase_path(),
+                    detail={
+                        "tasks": list(wave),
+                        "widths": [clamped[i] for i in wave],
+                        "depth": deepest - base_round,
+                    },
+                )
             self.round = deepest
         return results

@@ -146,6 +146,15 @@ def transfer(
     for local_index, inbox in enumerate(inboxes):
         tracker.record_receive(round_index, dest_view.servers[local_index], len(inbox))
     tracker.note_round(round_index)
+    tracer = tracker.tracer
+    if tracer is not None and tracer.active:
+        tracer.emit(
+            "transfer",
+            round_index,
+            dest_view.servers,
+            tuple(len(inbox) for inbox in inboxes),
+            tracker.phase_path(),
+        )
     source.view.round = round_index + 1
     dest_view.round = round_index + 1
     return Distributed(dest_view, inboxes)

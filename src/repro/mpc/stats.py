@@ -8,12 +8,20 @@ A secondary *control channel* meters the O(p)-scalar coordination traffic
 (splitter samples, group counts, prefix offsets) that MPC papers treat as
 free under ``N ≥ p^{1+ε}``; it is reported separately and never mixed into
 ``L``.
+
+Phase attribution is *tag-based*: every delivery is charged to each phase
+open at the moment it happens (each open phase keeps its own cell map), so
+phases remain correct when ``run_parallel`` branches share round indices —
+a round-range heuristic would let one branch's rounds pollute another's
+phase.  An optional :class:`~repro.obs.events.Tracer` can be attached to
+stream structured events; with none attached (the default), recording cost
+is unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
 
 __all__ = ["LoadTracker", "CostReport"]
 
@@ -41,22 +49,67 @@ class CostReport:
             f"rounds={self.rounds}, products={self.elementary_products})"
         )
 
+    # -- machine-readable export -----------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable dict (inverse of :meth:`from_dict`)."""
+        return {
+            "max_load": self.max_load,
+            "total_communication": self.total_communication,
+            "rounds": self.rounds,
+            "control_messages": self.control_messages,
+            "elementary_products": self.elementary_products,
+            "phases": [[label, load] for label, load in self.phases],
+        }
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, Any]) -> "CostReport":
+        """Rebuild a report from :meth:`to_dict` output (e.g. parsed JSON)."""
+        return cls(
+            max_load=int(record["max_load"]),
+            total_communication=int(record["total_communication"]),
+            rounds=int(record["rounds"]),
+            control_messages=int(record.get("control_messages", 0)),
+            elementary_products=int(record.get("elementary_products", 0)),
+            phases=tuple(
+                (str(label), int(load)) for label, load in record.get("phases", ())
+            ),
+        )
+
+
+class _PhaseFrame:
+    """One open phase: its label and its own (round, server) → count cells."""
+
+    __slots__ = ("label", "cells")
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+        self.cells: Dict[Tuple[int, int], int] = {}
+
 
 class LoadTracker:
     """Accumulates per-(round, server) incoming message counts."""
 
-    def __init__(self) -> None:
+    def __init__(self, tracer: Optional[Any] = None) -> None:
         self._loads: Dict[int, Dict[int, int]] = {}
         self._control = 0
         self._products = 0
-        self._phase_stack: List[Tuple[str, int]] = []
+        self._phase_stack: List[_PhaseFrame] = []
         self._phases: List[Tuple[str, int]] = []
         self._max_round = -1
+        #: Optional :class:`repro.obs.events.Tracer`; the cluster emits
+        #: structured events through it when present (duck-typed so the mpc
+        #: layer has no import dependency on :mod:`repro.obs`).
+        self.tracer = tracer
 
     # -- recording -----------------------------------------------------------
 
     def record_receive(self, round_index: int, server: int, count: int) -> None:
-        """Charge ``count`` incoming items to ``server`` in ``round_index``."""
+        """Charge ``count`` incoming items to ``server`` in ``round_index``.
+
+        The charge also lands in every currently-open phase frame, which is
+        what makes phase attribution immune to shared round indices.
+        """
         if count < 0:
             raise ValueError("negative message count")
         if count == 0:
@@ -65,6 +118,10 @@ class LoadTracker:
         row[server] = row.get(server, 0) + count
         if round_index > self._max_round:
             self._max_round = round_index
+        if self._phase_stack:
+            cell = (round_index, server)
+            for frame in self._phase_stack:
+                frame.cells[cell] = frame.cells.get(cell, 0) + count
 
     def note_round(self, round_index: int) -> None:
         """Record that a round happened even if some servers received nothing."""
@@ -89,15 +146,16 @@ class LoadTracker:
         return _Phase(self, label)
 
     def push_phase(self, label: str) -> None:
-        self._phase_stack.append((label, self._max_round + 1))
+        self._phase_stack.append(_PhaseFrame(label))
 
     def pop_phase(self) -> None:
-        label, start_round = self._phase_stack.pop()
-        load = 0
-        for round_index, row in self._loads.items():
-            if round_index >= start_round and row:
-                load = max(load, max(row.values()))
-        self._phases.append((label, load))
+        frame = self._phase_stack.pop()
+        load = max(frame.cells.values()) if frame.cells else 0
+        self._phases.append((frame.label, load))
+
+    def phase_path(self) -> Tuple[str, ...]:
+        """Labels of the currently-open phases, outermost first."""
+        return tuple(frame.label for frame in self._phase_stack)
 
     # -- reporting -------------------------------------------------------------
 
@@ -131,6 +189,10 @@ class LoadTracker:
             max(self._loads[r].values()) if r in self._loads and self._loads[r] else 0
             for r in range(self.rounds)
         ]
+
+    def load_cells(self) -> Dict[int, Dict[int, int]]:
+        """Copy of the raw round → {server → received count} cells."""
+        return {round_index: dict(row) for round_index, row in self._loads.items()}
 
     def report(self) -> CostReport:
         return CostReport(

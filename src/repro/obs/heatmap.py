@@ -1,0 +1,84 @@
+"""ASCII per-round × per-server load heatmaps.
+
+Reading guide (see docs/observability.md): rows are communication rounds,
+columns are servers; each cell's glyph encodes that server's receive count
+in that round relative to the run's hottest cell (the paper's ``L``).  The
+right margin prints each round's max so the round responsible for ``L``
+is visible at a glance; the hottest cell is marked with ``@``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+__all__ = ["render_heatmap", "GLYPHS"]
+
+#: Intensity ramp, blank (zero) → ``@`` (the global maximum).
+GLYPHS = " .:-=+*#%@"
+
+
+def _bucket_columns(row: Sequence[int], groups: int) -> List[int]:
+    """Fold a wide row into ``groups`` columns (max within each bucket)."""
+    n = len(row)
+    bounds = [round(i * n / groups) for i in range(groups + 1)]
+    return [
+        max(row[bounds[i]:bounds[i + 1]]) if bounds[i] < bounds[i + 1] else 0
+        for i in range(groups)
+    ]
+
+
+def render_heatmap(
+    matrix: Sequence[Sequence[int]],
+    servers: Optional[Sequence[int]] = None,
+    max_columns: int = 64,
+) -> str:
+    """Render a (rounds × servers) load matrix as an ASCII heatmap.
+
+    ``servers`` labels the columns with global ids (defaults to 0..p-1).
+    Matrices wider than ``max_columns`` are bucketed column-wise (each
+    printed cell is then the max of its server bucket, flagged in the
+    legend).
+    """
+    if not matrix or not any(len(row) for row in matrix):
+        return "(empty trace: no deliveries recorded)"
+    width = max(len(row) for row in matrix)
+    rows = [list(row) + [0] * (width - len(row)) for row in matrix]
+    if servers is None:
+        servers = list(range(width))
+
+    bucketed = width > max_columns
+    if bucketed:
+        rows = [_bucket_columns(row, max_columns) for row in rows]
+        width = max_columns
+
+    peak = max(max(row) for row in rows)
+    if peak == 0:
+        return "(empty trace: no deliveries recorded)"
+
+    def glyph(value: int) -> str:
+        if value == 0:
+            return GLYPHS[0]
+        if value == peak:
+            return GLYPHS[-1]
+        # Nonzero values always render visibly (at least ".").
+        index = 1 + int((len(GLYPHS) - 2) * value / peak)
+        return GLYPHS[min(index, len(GLYPHS) - 2)]
+
+    round_label_width = max(5, len(str(len(rows) - 1)))
+    max_label_width = max(3, len(str(peak)))
+    header = (
+        f"{'round':>{round_label_width}} "
+        + ("servers" if bucketed else f"servers {servers[0]}..{servers[-1]}").ljust(width)
+        + f" {'max':>{max_label_width}}"
+    )
+    lines = [header, f"{'':>{round_label_width}} " + "-" * width]
+    for round_index, row in enumerate(rows):
+        cells = "".join(glyph(value) for value in row)
+        lines.append(
+            f"{round_index:>{round_label_width}} {cells} {max(row):>{max_label_width}}"
+        )
+    legend = f"scale: ' '=0, '.'≈>0 … '@'={peak} (= max cell)"
+    if bucketed:
+        legend += f"; {len(servers)} servers bucketed into {width} columns (max per bucket)"
+    lines.append(legend)
+    return "\n".join(lines)

@@ -1,0 +1,181 @@
+"""Load-skew metrics over per-round × per-server load matrices.
+
+The paper's cost metric is a single scalar — ``L = max_{round, server}``
+items received — but *why* an algorithm hits a given ``L`` lives in the full
+matrix: which round peaks, how unevenly that round's load is spread, and
+which servers are hot.  This module turns a load matrix (rows = rounds,
+columns = servers) into those answers:
+
+* :func:`skew_stats` — max / mean / p95 / imbalance (max÷mean) / Gini of one
+  load vector;
+* :func:`per_round_stats` — one :class:`SkewStats` per round;
+* :func:`per_server_totals`, :func:`round_maxima` — marginal views;
+* :func:`load_matrix_from_tracker` / :func:`load_matrix_from_events` —
+  build the matrix from a live :class:`~repro.mpc.stats.LoadTracker` or a
+  recorded trace.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .events import LOAD_OPS, TraceEvent
+
+__all__ = [
+    "SkewStats",
+    "skew_stats",
+    "per_round_stats",
+    "per_server_totals",
+    "round_maxima",
+    "gini",
+    "percentile",
+    "load_matrix_from_tracker",
+    "load_matrix_from_events",
+]
+
+
+@dataclass(frozen=True)
+class SkewStats:
+    """Distributional summary of one load vector (typically one round)."""
+
+    #: Number of servers measured.
+    n: int
+    #: Sum of the vector (items delivered).
+    total: int
+    #: Largest entry — one round's contribution to the paper's ``L``.
+    max: int
+    #: Arithmetic mean.
+    mean: float
+    #: 95th percentile (nearest-rank).
+    p95: int
+    #: ``max / mean`` — 1.0 means perfectly balanced; 0.0 for an empty round.
+    imbalance: float
+    #: Gini coefficient in [0, 1]; 0 = perfectly even, →1 = one hot server.
+    gini: float
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "n": self.n,
+            "total": self.total,
+            "max": self.max,
+            "mean": self.mean,
+            "p95": self.p95,
+            "imbalance": self.imbalance,
+            "gini": self.gini,
+        }
+
+
+def percentile(values: Sequence[int], q: float) -> int:
+    """Nearest-rank percentile of ``values`` (``q`` in [0, 100])."""
+    if not values:
+        return 0
+    if not 0 <= q <= 100:
+        raise ValueError("percentile must be in [0, 100]")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+def gini(values: Sequence[int]) -> float:
+    """Gini coefficient of a non-negative vector (0 = even, →1 = concentrated)."""
+    n = len(values)
+    if n == 0:
+        return 0.0
+    total = sum(values)
+    if total == 0:
+        return 0.0
+    # Σ_i (2i - n - 1) x_(i)  over the sorted vector — O(n log n).
+    ordered = sorted(values)
+    weighted = sum((2 * (i + 1) - n - 1) * x for i, x in enumerate(ordered))
+    return weighted / (n * total)
+
+
+def skew_stats(loads: Sequence[int]) -> SkewStats:
+    """Summarize one load vector (e.g. one round's per-server receives)."""
+    n = len(loads)
+    total = sum(loads)
+    peak = max(loads) if loads else 0
+    mean = total / n if n else 0.0
+    return SkewStats(
+        n=n,
+        total=total,
+        max=peak,
+        mean=mean,
+        p95=percentile(loads, 95),
+        imbalance=(peak / mean) if mean else 0.0,
+        gini=gini(loads),
+    )
+
+
+def per_round_stats(matrix: Sequence[Sequence[int]]) -> List[SkewStats]:
+    """One :class:`SkewStats` per row (round) of the load matrix."""
+    return [skew_stats(list(row)) for row in matrix]
+
+
+def per_server_totals(matrix: Sequence[Sequence[int]]) -> List[int]:
+    """Column sums: total items each server received across all rounds."""
+    if not matrix:
+        return []
+    width = max(len(row) for row in matrix)
+    totals = [0] * width
+    for row in matrix:
+        for index, value in enumerate(row):
+            totals[index] += value
+    return totals
+
+
+def round_maxima(matrix: Sequence[Sequence[int]]) -> List[int]:
+    """Row maxima: each round's hottest server (max over rows = the ``L``)."""
+    return [max(row) if row else 0 for row in matrix]
+
+
+def load_matrix_from_tracker(
+    tracker, servers: Optional[Sequence[int]] = None
+) -> Tuple[List[List[int]], List[int]]:
+    """The (rounds × servers) matrix a :class:`LoadTracker` accumulated.
+
+    Returns ``(matrix, servers)``; ``servers[j]`` is the global id of
+    column ``j``.  When ``servers`` is not given, the columns are the
+    servers that ever received anything, in id order.
+    """
+    cells = tracker.load_cells()
+    if servers is None:
+        seen = sorted({s for row in cells.values() for s in row})
+        servers = seen
+    column = {server: j for j, server in enumerate(servers)}
+    rounds = tracker.rounds
+    matrix = [[0] * len(servers) for _ in range(rounds)]
+    for round_index, row in cells.items():
+        for server, count in row.items():
+            if server in column:
+                matrix[round_index][column[server]] += count
+    return matrix, list(servers)
+
+
+def load_matrix_from_events(
+    events: Iterable[TraceEvent],
+) -> Tuple[List[List[int]], List[int]]:
+    """Rebuild the (rounds × servers) load matrix from a recorded trace.
+
+    Only load-bearing ops (:data:`~repro.obs.events.LOAD_OPS`) contribute;
+    equals the tracker's own matrix when the trace captured the whole run.
+    """
+    cells: Dict[Tuple[int, int], int] = {}
+    max_round = -1
+    server_set = set()
+    for event in events:
+        if event.op not in LOAD_OPS:
+            continue
+        if event.round > max_round:
+            max_round = event.round
+        for server, count in zip(event.servers, event.received):
+            server_set.add(server)
+            cells[(event.round, server)] = cells.get((event.round, server), 0) + count
+    servers = sorted(server_set)
+    column = {server: j for j, server in enumerate(servers)}
+    matrix = [[0] * len(servers) for _ in range(max_round + 1)]
+    for (round_index, server), count in cells.items():
+        matrix[round_index][column[server]] = count
+    return matrix, servers

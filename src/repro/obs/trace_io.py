@@ -1,0 +1,120 @@
+"""JSONL trace persistence and reconstruction.
+
+A trace written by :class:`~repro.obs.events.JsonlSink` is a complete record
+of a run's data movement, so the run's cost aggregates can be recomputed
+from the file alone: :func:`trace_aggregates` rebuilds ``max_load`` /
+``total_communication`` / ``rounds``, and :func:`report_from_trace` packages
+them as a :class:`~repro.mpc.stats.CostReport` (the round-trip is asserted
+in ``tests/test_obs.py`` against the live tracker).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, IO, Iterable, Iterator, List, Tuple, Union
+
+from ..mpc.stats import CostReport
+from .events import LOAD_OPS, TraceEvent, event_from_dict
+
+__all__ = [
+    "read_trace",
+    "iter_trace",
+    "trace_aggregates",
+    "report_from_trace",
+    "phase_loads_from_events",
+]
+
+
+def iter_trace(source: Union[str, IO[str]]) -> Iterator[TraceEvent]:
+    """Yield events from a JSONL trace file (path or open handle)."""
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            yield from _iter_handle(handle)
+    else:
+        yield from _iter_handle(source)
+
+
+def _iter_handle(handle: IO[str]) -> Iterator[TraceEvent]:
+    for line in handle:
+        line = line.strip()
+        if line:
+            yield event_from_dict(json.loads(line))
+
+
+def read_trace(source: Union[str, IO[str]]) -> List[TraceEvent]:
+    """All events of a JSONL trace, in file order."""
+    return list(iter_trace(source))
+
+
+def trace_aggregates(events: Iterable[TraceEvent]) -> Dict[str, int]:
+    """Recompute the tracker's aggregates from a recorded trace.
+
+    Accumulates load-bearing deliveries per ``(round, server)`` cell exactly
+    as :meth:`LoadTracker.record_receive` does, so for a trace that captured
+    the whole run: ``max_load`` = the paper's ``L``, ``total_communication``
+    = all items shipped, ``rounds`` = rounds used, ``events`` = event count.
+    """
+    cells: Dict[Tuple[int, int], int] = {}
+    max_round = -1
+    count = 0
+    for event in events:
+        count += 1
+        if event.op not in LOAD_OPS:
+            continue
+        if event.round > max_round:
+            max_round = event.round
+        for server, received in zip(event.servers, event.received):
+            if received:
+                key = (event.round, server)
+                cells[key] = cells.get(key, 0) + received
+    return {
+        "max_load": max(cells.values()) if cells else 0,
+        "total_communication": sum(cells.values()),
+        "rounds": max_round + 1,
+        "events": count,
+    }
+
+
+def phase_loads_from_events(events: Iterable[TraceEvent]) -> Dict[str, int]:
+    """Max per-(round, server) load under each phase path, from a trace.
+
+    Keys are slash-joined phase paths (``"matmul-wc/heavy-heavy"`` style
+    labels already include their own hierarchy; nested tracker phases appear
+    as ``outer//inner``).  An event under a nested phase counts toward every
+    prefix of its path, mirroring the tracker's nested-phase semantics.
+    """
+    cells: Dict[Tuple[str, int, int], int] = {}
+    for event in events:
+        if event.op not in LOAD_OPS or not event.phase:
+            continue
+        for depth in range(1, len(event.phase) + 1):
+            path = "//".join(event.phase[:depth])
+            for server, received in zip(event.servers, event.received):
+                if received:
+                    key = (path, event.round, server)
+                    cells[key] = cells.get(key, 0) + received
+    loads: Dict[str, int] = {}
+    for (path, _round, _server), count in cells.items():
+        if count > loads.get(path, 0):
+            loads[path] = count
+    return loads
+
+
+def report_from_trace(events: Iterable[TraceEvent]) -> CostReport:
+    """A :class:`CostReport` rebuilt from a trace.
+
+    Control traffic and ⊗-product counts are not traced (they are not data
+    movement), so those fields are zero; ``phases`` holds the slash-joined
+    phase paths of :func:`phase_loads_from_events` in sorted order.
+    """
+    events = list(events)
+    aggregates = trace_aggregates(events)
+    phases = tuple(sorted(phase_loads_from_events(events).items()))
+    return CostReport(
+        max_load=aggregates["max_load"],
+        total_communication=aggregates["total_communication"],
+        rounds=aggregates["rounds"],
+        control_messages=0,
+        elementary_products=0,
+        phases=phases,
+    )

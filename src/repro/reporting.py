@@ -10,11 +10,12 @@ markdown table.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, List, Sequence
+from dataclasses import asdict, dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from .core.executor import run_query
 from .data.query import Instance
+from .mpc.cluster import MPCCluster
 from .workloads import (
     bowtie_line,
     overlapping_star,
@@ -44,15 +45,33 @@ class ComparisonRow:
         """Baseline load over new-algorithm load (> 1 ⇒ the paper wins)."""
         return self.baseline_load / max(1, self.new_load)
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable dict (all fields plus the derived speedup)."""
+        record = asdict(self)
+        record["speedup"] = self.speedup
+        return record
 
-def compare_on(instance: Instance, label: str, p: int = 16) -> ComparisonRow:
+
+def compare_on(
+    instance: Instance,
+    label: str,
+    p: int = 16,
+    tracer: Optional[Any] = None,
+) -> ComparisonRow:
     """Run both algorithms on one instance and package the measurements.
 
     Raises ``AssertionError`` if the algorithms disagree (they never
     should; this keeps report data trustworthy by construction).
+    ``tracer`` (a :class:`repro.obs.events.Tracer`) traces the paper
+    algorithm's run; its ``scope`` is set to ``label`` so events from
+    different instances sharing one sink stay distinguishable.
     """
     baseline = run_query(instance, p=p, algorithm="yannakakis")
-    ours = run_query(instance, p=p, algorithm="auto")
+    cluster = None
+    if tracer is not None:
+        tracer.scope = label
+        cluster = MPCCluster(p, tracer=tracer)
+    ours = run_query(instance, p=p, cluster=cluster, algorithm="auto")
     if baseline.relation.tuples != ours.relation.tuples:
         raise AssertionError(f"algorithms disagree on {label!r}")
     return ComparisonRow(
@@ -68,12 +87,16 @@ def compare_on(instance: Instance, label: str, p: int = 16) -> ComparisonRow:
     )
 
 
-def table1_report(scale: int = 300, p: int = 16) -> List[ComparisonRow]:
+def table1_report(
+    scale: int = 300, p: int = 16, tracer: Optional[Any] = None
+) -> List[ComparisonRow]:
     """One adversarial instance per Table-1 row, measured.
 
     ``scale`` is the tuples-per-relation knob; families are the planted/
     adversarial ones where the baseline's intermediate exceeds OUT (see
     docs/paper_notes.md on why uniform-random data would show ties).
+    ``tracer`` traces every row's paper-algorithm run into one event
+    stream, scoped by the row label.
     """
     builders: Sequence[tuple] = (
         ("matmul", lambda: planted_out_matmul(n=scale, out=min(scale * scale, 64 * scale))),
@@ -85,7 +108,7 @@ def table1_report(scale: int = 300, p: int = 16) -> List[ComparisonRow]:
             seed=1,
         )),
     )
-    return [compare_on(builder(), label, p=p) for label, builder in builders]
+    return [compare_on(builder(), label, p=p, tracer=tracer) for label, builder in builders]
 
 
 def render_markdown(rows: Sequence[ComparisonRow]) -> str:

@@ -1,5 +1,7 @@
 """Command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -34,9 +36,27 @@ def test_sweep(capsys):
     assert len(lines) == 3  # header + 2 points
 
 
-def test_sweep_rejects_other_families(capsys):
-    code = main(["sweep", "--family", "star", "--tuples", "50"])
-    assert code == 2
+@pytest.mark.parametrize("family", ["star", "line", "twig"])
+def test_sweep_other_families_sweep_tuples(capsys, family):
+    code = main(["sweep", "--family", family, "--tuples", "40", "--domain", "10",
+                 "--points", "2", "--p", "4"])
+    captured = capsys.readouterr()
+    assert code == 0, captured.out
+    lines = [line for line in captured.out.splitlines() if line.strip()]
+    assert len(lines) == 3  # header + 2 points
+    assert "tuples" in lines[0]
+
+
+def test_sweep_json(capsys):
+    code = main(["sweep", "--family", "line", "--tuples", "40", "--domain", "10",
+                 "--points", "2", "--p", "4", "--json"])
+    assert code == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["family"] == "line" and document["knob"] == "tuples"
+    assert len(document["points"]) == 2
+    assert document["points"][1]["tuples"] == 80
+    for point in document["points"]:
+        assert point["baseline_load"] > 0 and point["new_load"] > 0
 
 
 def test_unknown_family_rejected():
@@ -50,6 +70,60 @@ def test_table1(capsys):
     assert code == 0
     for label in ("matmul", "line", "star", "tree"):
         assert label in captured.out
+
+
+def test_compare_json_and_trace_out(capsys, tmp_path):
+    trace_path = tmp_path / "compare.jsonl"
+    code = main(["compare", "--family", "matmul", "--tuples", "120",
+                 "--out", "600", "--p", "4", "--json",
+                 "--trace-out", str(trace_path)])
+    assert code == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["baseline"]["max_load"] > 0
+    assert document["ours"]["max_load"] > 0
+    assert document["speedup"] == pytest.approx(
+        document["baseline"]["max_load"] / document["ours"]["max_load"]
+    )
+    from repro.obs import read_trace, trace_aggregates
+
+    aggregates = trace_aggregates(read_trace(str(trace_path)))
+    assert aggregates["max_load"] == document["ours"]["max_load"]
+
+
+def test_table1_json(capsys):
+    code = main(["table1", "--scale", "80", "--p", "4", "--json"])
+    assert code == 0
+    document = json.loads(capsys.readouterr().out)
+    assert [row["label"] for row in document["rows"]] == [
+        "matmul", "line", "star", "tree"
+    ]
+    for row in document["rows"]:
+        assert row["speedup"] > 0
+
+
+def test_trace_smoke(capsys, tmp_path):
+    trace_path = tmp_path / "trace.jsonl"
+    code = main(["trace", "--family", "line", "--tuples", "60", "--domain", "8",
+                 "--p", "4", "--trace-out", str(trace_path)])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "scale:" in captured.out        # the heatmap legend
+    assert "peak round" in captured.out
+    assert trace_path.exists()
+    for line in trace_path.read_text().splitlines():
+        json.loads(line)  # every line is a valid JSON event
+
+
+def test_trace_json(capsys, tmp_path):
+    trace_path = tmp_path / "trace.jsonl"
+    code = main(["trace", "--family", "star", "--tuples", "60", "--domain", "8",
+                 "--p", "4", "--json", "--trace-out", str(trace_path)])
+    assert code == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["report"]["max_load"] > 0
+    assert document["events"] > 0
+    assert len(document["per_round"]) == document["report"]["rounds"]
+    assert document["overall_skew"]["max"] == document["report"]["max_load"]
 
 
 def test_reporting_module():

@@ -185,6 +185,51 @@ def test_phase_survives_exceptions():
     assert dict(tracker.report().phases) == {"after": 2}
 
 
+def test_parallel_branch_phases_do_not_pollute_each_other():
+    """Regression: phases of run_parallel branches share round indices.
+
+    The old round-range heuristic (`round >= start_round` at pop time)
+    attributed the deep branch's later rounds to the shallow branch's phase
+    and missed the shallow branch's own rounds entirely; tag-based
+    attribution charges each delivery to the phases open when it happens.
+    """
+    cluster = MPCCluster(4)
+    view = cluster.view()
+
+    def deep(branch):
+        with branch.tracker.phase("deep"):
+            for count in (7, 9, 11):
+                branch.exchange(
+                    [[(0, "x")] * count] + [[] for _ in range(branch.p - 1)]
+                )
+        return "deep"
+
+    def shallow(branch):
+        with branch.tracker.phase("shallow"):
+            branch.exchange([[(0, "q")] * 3] + [[] for _ in range(branch.p - 1)])
+        return "shallow"
+
+    results = view.run_parallel([deep, shallow], sizes=[2, 2])
+    assert results == ["deep", "shallow"]
+    phases = dict(cluster.report().phases)
+    assert phases["deep"] == 11
+    assert phases["shallow"] == 3  # round-range attribution reported 0 here
+
+
+def test_phase_spanning_run_parallel_sees_all_branches():
+    cluster = MPCCluster(4)
+    view = cluster.view()
+
+    def branch_task(count):
+        def task(branch):
+            branch.exchange([[(0, "x")] * count] + [[] for _ in range(branch.p - 1)])
+        return task
+
+    with cluster.tracker.phase("whole-join"):
+        view.run_parallel([branch_task(5), branch_task(8)], sizes=[2, 2])
+    assert dict(cluster.report().phases)["whole-join"] == 8
+
+
 def test_algorithm_reports_include_phases():
     from repro import run_query
     from repro.workloads import planted_out_matmul

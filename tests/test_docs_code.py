@@ -63,5 +63,5 @@ def test_api_doc_mentions_every_public_module():
     for module in ("repro.semiring", "repro.data", "repro.mpc", "repro.primitives",
                    "repro.core", "repro.ram", "repro.workloads", "repro.queries",
                    "repro.linalg", "repro.interop", "repro.io", "repro.testing",
-                   "repro.reporting"):
+                   "repro.reporting", "repro.obs"):
         assert module in text, module
