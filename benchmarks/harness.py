@@ -64,6 +64,13 @@ class _Registry:
 registry = _Registry()
 
 
+def _ensure_parent(path: str) -> None:
+    """``makedirs`` that tolerates a bare filename (empty dirname)."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+
+
 def format_table(table: ExperimentTable) -> str:
     def fmt(value: object) -> str:
         if isinstance(value, float):
@@ -113,8 +120,10 @@ def write_results(path: str, now: Optional[str] = None) -> None:
     reviewable.
     """
     if not registry.tables:
+        # An empty run would only churn real results down the capped
+        # history; the always-valid machine-readable file is results.json.
         return
-    os.makedirs(os.path.dirname(path), exist_ok=True)
+    _ensure_parent(path)
     stamp = now or datetime.now().isoformat(timespec="seconds")
 
     history: List[str] = []
@@ -142,10 +151,13 @@ def write_results(path: str, now: Optional[str] = None) -> None:
 
 
 def write_results_json(path: str, now: Optional[str] = None) -> None:
-    """Write ``results.json``: every table as structured data for CI trends."""
-    if not registry.tables:
-        return
-    os.makedirs(os.path.dirname(path), exist_ok=True)
+    """Write ``results.json``: every table as structured data for CI trends.
+
+    An empty registry (e.g. a sweep whose family selection matched nothing)
+    still produces a *valid* document with ``"tables": {}`` — consumers can
+    always ``json.load`` the file instead of special-casing its absence.
+    """
+    _ensure_parent(path)
     stamp = now or datetime.now().isoformat(timespec="seconds")
     document = {
         "generated": stamp,

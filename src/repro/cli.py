@@ -11,7 +11,11 @@ Commands aimed at kicking the tires without writing code:
 * ``table1`` — the paper's Table 1 with measured loads;
 * ``trace`` — run one instance with the observability layer on: dump a
   JSONL trace (see docs/observability.md for the schema) and print an
-  ASCII per-round × per-server load heatmap plus skew statistics.
+  ASCII per-round × per-server load heatmap plus skew statistics;
+* ``fuzz`` — run a conformance fuzzing campaign (differential oracle +
+  metamorphic invariants, docs/conformance.md): deterministic per seed,
+  shrinks failures to minimal repros and optionally serializes them to a
+  replayable corpus directory.
 
 ``compare``/``sweep``/``table1`` accept ``--json`` (machine-readable
 output on stdout) and ``--trace-out PATH`` (JSONL trace of the paper
@@ -25,6 +29,13 @@ import json
 import sys
 from typing import Any, Callable, Dict, List, Optional
 
+from .conformance import (
+    INVARIANTS,
+    PROFILES,
+    QUERY_FAMILIES,
+    FuzzConfig,
+    fuzz as run_fuzz,
+)
 from .core.executor import run_query
 from .data.query import Instance
 from .mpc.cluster import MPCCluster
@@ -113,6 +124,8 @@ def _build_parser() -> argparse.ArgumentParser:
     table1.add_argument("--p", type=int, default=16)
     table1.add_argument("--scale", type=int, default=300,
                         help="instance size knob (tuples per relation)")
+    table1.add_argument("--families", nargs="*", default=None, metavar="FAMILY",
+                        help="subset of Table-1 rows to measure (default: all)")
     add_export(table1)
 
     trace = sub.add_parser(
@@ -126,6 +139,41 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="JSONL trace destination (default: %(default)s)")
     trace.add_argument("--json", action="store_true",
                        help="print the run summary as JSON instead of the heatmap")
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="conformance fuzzing: differential + metamorphic invariants",
+    )
+    fuzz.add_argument("--iterations", type=int, default=25,
+                      help="cases to check (ignored when --seconds is given)")
+    fuzz.add_argument("--seconds", type=float, default=None,
+                      help="wall-clock budget instead of an iteration count")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="campaign seed; same seed → byte-identical --json output")
+    fuzz.add_argument("--p", type=int, default=4, help="number of servers")
+    fuzz.add_argument("--p-large", type=int, default=8,
+                      help="larger server count for the scaling invariant")
+    fuzz.add_argument("--tuples", type=int, default=12,
+                      help="max tuples per generated relation")
+    fuzz.add_argument("--domain", type=int, default=5,
+                      help="attribute domain width of generated instances")
+    fuzz.add_argument("--families", nargs="+", default=None,
+                      metavar="FAMILY", help="restrict query families "
+                      f"(default: all of {', '.join(QUERY_FAMILIES)})")
+    fuzz.add_argument("--profiles", nargs="+", default=None,
+                      metavar="SEMIRING", help="restrict semiring profiles "
+                      f"(default: all of {', '.join(PROFILES)})")
+    fuzz.add_argument("--invariants", nargs="+", default=None,
+                      metavar="NAME", help="restrict the invariant catalog "
+                      f"(default: all of {', '.join(INVARIANTS)})")
+    fuzz.add_argument("--corpus", default=None, metavar="DIR",
+                      help="serialize shrunk failures into this directory")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="skip delta-debugging of failures")
+    fuzz.add_argument("--fail-fast", action="store_true",
+                      help="stop at the first invariant violation")
+    fuzz.add_argument("--json", action="store_true",
+                      help="print the campaign summary as JSON")
 
     return parser
 
@@ -252,8 +300,9 @@ def _command_table1(args: argparse.Namespace) -> int:
 
     tracer = _tracer_for(args)
     try:
-        rows = table1_report(scale=args.scale, p=args.p, tracer=tracer)
-    except AssertionError as error:
+        rows = table1_report(scale=args.scale, p=args.p, tracer=tracer,
+                             families=args.families)
+    except (AssertionError, ValueError) as error:
         print(f"ERROR: {error}", file=sys.stderr)
         return 1
     finally:
@@ -341,6 +390,61 @@ def _command_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_fuzz(args: argparse.Namespace) -> int:
+    for flag, chosen, allowed in (
+        ("--families", args.families, QUERY_FAMILIES),
+        ("--profiles", args.profiles, tuple(PROFILES)),
+        ("--invariants", args.invariants, tuple(INVARIANTS)),
+    ):
+        for name in chosen or ():
+            if name not in allowed:
+                print(f"ERROR: unknown {flag} value {name!r} "
+                      f"(choose from {', '.join(allowed)})", file=sys.stderr)
+                return 2
+    config = FuzzConfig(
+        iterations=args.iterations,
+        seconds=args.seconds,
+        seed=args.seed,
+        p=args.p,
+        p_large=args.p_large,
+        max_tuples=args.tuples,
+        domain=args.domain,
+        families=tuple(args.families) if args.families else QUERY_FAMILIES,
+        profiles=tuple(args.profiles) if args.profiles else tuple(PROFILES),
+        invariants=tuple(args.invariants) if args.invariants else tuple(INVARIANTS),
+        corpus=args.corpus,
+        shrink=not args.no_shrink,
+        fail_fast=args.fail_fast,
+    )
+    summary = run_fuzz(config)
+    if args.json:
+        print(summary.to_json())
+        return 0 if summary.ok else 1
+
+    print(f"fuzz: seed={summary.seed} checked={summary.checked} "
+          f"p={summary.p}->{summary.p_large} "
+          f"max_tuples={summary.max_tuples} domain={summary.domain}")
+    for dimension in sorted(summary.coverage):
+        bucket = summary.coverage[dimension]
+        cells = "  ".join(f"{key}={count}" for key, count in sorted(bucket.items()))
+        print(f"  {dimension:<12} {cells}")
+    if summary.ok:
+        print("OK: no invariant violations")
+        return 0
+    print(f"FAILURES: {len(summary.failures)}", file=sys.stderr)
+    for failure in summary.failures:
+        print(f"  [{failure.invariant}] iteration={failure.iteration} "
+              f"family={failure.family} class={failure.query_class} "
+              f"semiring={failure.profile} skew={failure.skew} "
+              f"seed={failure.case_seed}", file=sys.stderr)
+        print(f"    {failure.message}", file=sys.stderr)
+        print(f"    shrunk {failure.original_tuples} -> "
+              f"{failure.shrunk_tuples} tuples"
+              + (f", saved to {failure.corpus_file}" if failure.corpus_file else ""),
+              file=sys.stderr)
+    return 1
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -352,6 +456,8 @@ def main(argv=None) -> int:
         return _command_table1(args)
     if args.command == "trace":
         return _command_trace(args)
+    if args.command == "fuzz":
+        return _command_fuzz(args)
     return 2  # pragma: no cover
 
 

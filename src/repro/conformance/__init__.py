@@ -1,0 +1,72 @@
+"""Conformance & fuzzing subsystem (see docs/conformance.md).
+
+The paper's claims are algebraic — correct answers over *any* commutative
+semiring — and structural — every query class has its own algorithm.  This
+package checks both continuously:
+
+* :mod:`~repro.conformance.generators` — seeded random queries + instances
+  over every dispatched query class, skew profile, and semiring profile;
+* :mod:`~repro.conformance.invariants` — the differential oracle plus the
+  metamorphic catalog (homomorphism commutation, permutation invariance,
+  load/round scaling, opaque-semiring discipline);
+* :mod:`~repro.conformance.runner` — the budgeted campaign driver with a
+  deterministic JSON summary (``repro fuzz`` on the command line);
+* :mod:`~repro.conformance.shrink` — delta-debugging to minimal repros;
+* :mod:`~repro.conformance.corpus` — serialized repros that pytest replays
+  as regression tests;
+* :mod:`~repro.conformance.mutation` — planted bugs proving the harness
+  actually fires.
+"""
+
+from .corpus import (
+    case_from_document,
+    case_to_document,
+    corpus_files,
+    load_case,
+    replay_case,
+    save_case,
+)
+from .generators import (
+    PROFILES,
+    QUERY_FAMILIES,
+    SKEW_PROFILES,
+    FuzzCase,
+    GeneratorConfig,
+    materialize,
+    random_case,
+    random_query,
+    random_skeleton,
+    skeleton_size,
+)
+from .invariants import INVARIANTS, InvariantViolation
+from .mutation import planted_exchange_off_by_one
+from .runner import FuzzConfig, FuzzFailure, FuzzSummary, fuzz
+from .shrink import failing_predicate, shrink_case
+
+__all__ = [
+    "FuzzCase",
+    "FuzzConfig",
+    "FuzzFailure",
+    "FuzzSummary",
+    "GeneratorConfig",
+    "INVARIANTS",
+    "InvariantViolation",
+    "PROFILES",
+    "QUERY_FAMILIES",
+    "SKEW_PROFILES",
+    "case_from_document",
+    "case_to_document",
+    "corpus_files",
+    "failing_predicate",
+    "fuzz",
+    "load_case",
+    "materialize",
+    "planted_exchange_off_by_one",
+    "random_case",
+    "random_query",
+    "random_skeleton",
+    "replay_case",
+    "save_case",
+    "shrink_case",
+    "skeleton_size",
+]

@@ -1,0 +1,277 @@
+"""Seeded random query/instance generators for the conformance fuzzer.
+
+A generated :class:`FuzzCase` is deliberately *semiring-free*: it couples a
+:class:`~repro.data.query.TreeQuery` with an integer-weighted tuple
+**skeleton** plus the name of a :class:`SemiringProfile`.  The profile turns
+integer weights into annotations of its semiring deterministically
+(``materialize``), so the same skeleton can be replayed over counting,
+boolean, tropical, provenance-polynomial, or opaque annotations — and the
+shrinker and corpus serializer only ever deal with JSON-friendly integers.
+
+Knobs (:class:`GeneratorConfig`): tuples per relation, attribute domain
+width (which indirectly controls OUT), skew profile (uniform / zipf /
+planted-heavy), query family, and semiring profile.  Everything is driven by
+one :class:`random.Random` — same seed, same case, byte for byte.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..data.query import Instance, TreeQuery
+from ..data.relation import Relation
+from ..semiring import BOOLEAN, COUNTING, Semiring, TROPICAL_MIN_PLUS
+from ..semiring.provenance import POLYNOMIAL, monomial
+from ..testing import OpaqueSemiring
+
+__all__ = [
+    "FuzzCase",
+    "GeneratorConfig",
+    "SemiringProfile",
+    "PROFILES",
+    "QUERY_FAMILIES",
+    "SKEW_PROFILES",
+    "random_case",
+    "random_query",
+    "random_skeleton",
+    "materialize",
+    "skeleton_size",
+]
+
+#: Query families the executor dispatches on; the generator covers them all.
+QUERY_FAMILIES: Tuple[str, ...] = ("matmul", "line", "star", "star-like", "tree")
+
+#: Value-distribution shapes for the join attributes.
+SKEW_PROFILES: Tuple[str, ...] = ("uniform", "zipf", "planted-heavy")
+
+
+# -- semiring profiles ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SemiringProfile:
+    """How a skeleton's integer weights become annotations of one semiring.
+
+    ``annotate(relation_name, values, weight)`` must be deterministic —
+    provenance profiles derive variable names from the tuple itself, the
+    opaque profile wraps the integer.  ``make()`` builds a fresh semiring
+    (the opaque profile returns a new instrumented instance every time).
+    """
+
+    name: str
+    make: Callable[[], Semiring]
+    annotate: Callable[[str, Tuple[Any, ...], int], Any]
+
+
+def _provenance_annotation(name: str, values: Tuple[Any, ...], weight: int) -> Any:
+    token = f"{name}:{','.join(str(v) for v in values)}"
+    return monomial(*([token] * max(1, weight)))
+
+
+#: The fuzzer's semiring menu: one exact non-idempotent semiring (counting),
+#: one idempotent (boolean), one ordered-idempotent (tropical), the universal
+#: provenance semiring ℕ[X], and the discipline-checking opaque semiring.
+PROFILES: Dict[str, SemiringProfile] = {
+    profile.name: profile
+    for profile in (
+        SemiringProfile("counting", lambda: COUNTING, lambda n, v, w: w),
+        SemiringProfile("boolean", lambda: BOOLEAN, lambda n, v, w: True),
+        SemiringProfile(
+            "tropical-min-plus", lambda: TROPICAL_MIN_PLUS, lambda n, v, w: float(w)
+        ),
+        SemiringProfile("provenance", lambda: POLYNOMIAL, _provenance_annotation),
+        SemiringProfile(
+            "opaque",
+            lambda: OpaqueSemiring.make()[0],
+            lambda n, v, w: OpaqueSemiring.wrap(w),
+        ),
+    )
+}
+
+
+# -- the case ------------------------------------------------------------------
+
+
+@dataclass
+class FuzzCase:
+    """One generated conformance instance (query + integer skeleton).
+
+    ``skeleton[name]`` is a list of ``(values, weight)`` pairs with distinct
+    ``values`` per relation; ``profile`` names the :data:`PROFILES` entry
+    used at materialization time.
+    """
+
+    query: TreeQuery
+    skeleton: Dict[str, List[Tuple[Tuple[Any, ...], int]]]
+    profile: str
+    family: str
+    skew: str
+    seed: int
+
+    @property
+    def query_class(self) -> str:
+        return self.query.classify()
+
+    def replace_skeleton(
+        self, skeleton: Dict[str, List[Tuple[Tuple[Any, ...], int]]]
+    ) -> "FuzzCase":
+        """A copy of this case over a different (typically smaller) skeleton."""
+        return FuzzCase(self.query, skeleton, self.profile, self.family,
+                        self.skew, self.seed)
+
+
+def skeleton_size(case: FuzzCase) -> int:
+    """Total tuple count of the case (the paper's N)."""
+    return sum(len(rows) for rows in case.skeleton.values())
+
+
+def materialize(case: FuzzCase, profile: Optional[str] = None) -> Instance:
+    """Build the annotated :class:`Instance` for ``case``.
+
+    ``profile`` overrides the case's own profile (invariants re-materialize
+    one skeleton over several semirings).
+    """
+    spec = PROFILES[profile or case.profile]
+    semiring = spec.make()
+    relations = {}
+    for name, attrs in case.query.relations:
+        relation = Relation(name, attrs)
+        for values, weight in case.skeleton[name]:
+            relation.add(values, spec.annotate(name, values, weight), semiring)
+        relations[name] = relation
+    return Instance(case.query, relations, semiring)
+
+
+# -- query shapes --------------------------------------------------------------
+
+
+def random_query(rng: random.Random, family: str) -> TreeQuery:
+    """A random tree query of the given family (see :data:`QUERY_FAMILIES`)."""
+    if family == "matmul":
+        return TreeQuery(
+            (("R1", ("A", "B")), ("R2", ("B", "C"))), frozenset({"A", "C"})
+        )
+    if family == "line":
+        length = rng.randint(3, 4)
+        attrs = [f"A{i}" for i in range(length + 1)]
+        specs = tuple((f"R{i}", (attrs[i], attrs[i + 1])) for i in range(length))
+        return TreeQuery(specs, frozenset({attrs[0], attrs[-1]}))
+    if family == "star":
+        arms = rng.randint(3, 4)
+        specs = tuple((f"R{i}", (f"A{i}", "B")) for i in range(arms))
+        return TreeQuery(specs, frozenset(f"A{i}" for i in range(arms)))
+    if family == "star-like":
+        arms = [1, 2, rng.randint(1, 2)]
+        rng.shuffle(arms)
+        specs: List[Tuple[str, Tuple[str, str]]] = []
+        outputs = []
+        for arm, length in enumerate(arms):
+            previous = "B"
+            for step in range(length):
+                last = step == length - 1
+                attr = f"A{arm}" if last else f"C{arm}_{step}"
+                specs.append((f"R{arm}_{step}", (previous, attr)))
+                previous = attr
+            outputs.append(f"A{arm}")
+        return TreeQuery(tuple(specs), frozenset(outputs))
+    if family == "tree":
+        # The Figure-3 twig (two hubs, two output legs each), sometimes with
+        # an extra non-leaf output so the query classifies as general "tree".
+        specs = (
+            ("Ra1", ("A1", "B1")),
+            ("Ra2", ("A2", "B1")),
+            ("Rm", ("B1", "B2")),
+            ("Rb1", ("A3", "B2")),
+            ("Rb2", ("A4", "B2")),
+        )
+        outputs = {"A1", "A2", "A3", "A4"}
+        if rng.random() < 0.5:
+            outputs.add("B1")  # non-leaf output: exercises the general case
+        return TreeQuery(specs, frozenset(outputs))
+    raise ValueError(f"unknown query family {family!r}")
+
+
+# -- data skeletons ------------------------------------------------------------
+
+
+def _value_sampler(
+    rng: random.Random, skew: str, domain: int
+) -> Callable[[], int]:
+    """A sampler of attribute values under the requested skew profile."""
+    if skew == "uniform":
+        return lambda: rng.randrange(domain)
+    if skew == "zipf":
+        weights = [1.0 / (rank + 1) ** 1.3 for rank in range(domain)]
+        total = sum(weights)
+        probabilities = [w / total for w in weights]
+        return lambda: rng.choices(range(domain), probabilities)[0]
+    if skew == "planted-heavy":
+        # One hot value absorbs about half the draws.
+        return lambda: 0 if rng.random() < 0.5 else rng.randrange(domain)
+    raise ValueError(f"unknown skew profile {skew!r}")
+
+
+def random_skeleton(
+    rng: random.Random,
+    query: TreeQuery,
+    tuples: int,
+    domain: int,
+    skew: str,
+) -> Dict[str, List[Tuple[Tuple[Any, ...], int]]]:
+    """Random distinct-tuple data for every relation of ``query``.
+
+    Each relation holds up to ``tuples`` distinct pairs over ``domain``
+    values per attribute, sampled under ``skew``; weights are 1–4.
+    """
+    sample = _value_sampler(rng, skew, domain)
+    skeleton: Dict[str, List[Tuple[Tuple[Any, ...], int]]] = {}
+    for name, _attrs in query.relations:
+        count = rng.randint(1, max(1, tuples))
+        seen = set()
+        rows: List[Tuple[Tuple[Any, ...], int]] = []
+        attempts = 0
+        while len(rows) < count and attempts < 50 * count:
+            attempts += 1
+            entry = (sample(), sample())
+            if entry not in seen:
+                seen.add(entry)
+                rows.append((entry, rng.randint(1, 4)))
+        skeleton[name] = rows
+    return skeleton
+
+
+# -- top-level case generator --------------------------------------------------
+
+
+@dataclass
+class GeneratorConfig:
+    """Knobs of the case generator (see docs/conformance.md)."""
+
+    max_tuples: int = 12
+    domain: int = 5
+    families: Sequence[str] = QUERY_FAMILIES
+    profiles: Sequence[str] = tuple(PROFILES)
+    skews: Sequence[str] = SKEW_PROFILES
+
+
+def random_case(
+    rng: random.Random, config: GeneratorConfig, index: int
+) -> FuzzCase:
+    """Case ``index`` of a fuzz run.
+
+    Families and profiles are cycled (not sampled) so a default-budget run
+    deterministically covers the full family × profile grid; skew and the
+    per-case seed come from ``rng``.
+    """
+    family = config.families[index % len(config.families)]
+    profile = config.profiles[(index // len(config.families)) % len(config.profiles)]
+    skew = config.skews[index % len(config.skews)] if config.skews else "uniform"
+    case_seed = rng.randrange(2**32)
+    case_rng = random.Random(case_seed)
+    query = random_query(case_rng, family)
+    skeleton = random_skeleton(
+        case_rng, query, config.max_tuples, config.domain, skew
+    )
+    return FuzzCase(query, skeleton, profile, family, skew, case_seed)

@@ -1,0 +1,267 @@
+"""The conformance invariant catalog (docs/conformance.md has the prose).
+
+Every invariant is a function ``check(case, config) -> None`` raising
+:class:`InvariantViolation` on failure.  The catalog:
+
+* ``differential`` — every algorithm whose shape predicate accepts the query
+  (:func:`repro.core.executor.applicable_algorithms`) must reproduce the
+  sequential oracle exactly, annotations included, over the case's semiring
+  profile;
+* ``homomorphism`` — semiring homomorphisms commute with evaluation:
+  ``h(alg_ℕ(I)) = alg_T(h(I))`` for h: ℕ→𝔹 (positivity) and h: ℕ→ℤ₉₇
+  (reduction mod a prime);
+* ``permutation`` — renaming attributes, permuting the relation list, and
+  reinserting tuples in a different order must not change the answer;
+* ``scaling`` — growing p must not blow up the max load (generously bounded
+  monotonicity) and must keep the round count stable (the paper's
+  algorithms are O(1)-round for every fixed query);
+* ``opaque-discipline`` — algorithms run over
+  :class:`~repro.testing.OpaqueSemiring` touch annotations only through
+  ⊕/⊗ and still produce the exact counting answer.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, List, Tuple
+
+from ..core.executor import applicable_algorithms, run_query
+from ..data.query import Instance, TreeQuery
+from ..data.relation import Relation
+from ..ram.evaluate import evaluate
+from ..semiring import BOOLEAN, COUNTING, Semiring
+from ..testing import OpaqueSemiring
+from .generators import FuzzCase, materialize
+
+__all__ = [
+    "InvariantViolation",
+    "INVARIANTS",
+    "check_differential",
+    "check_homomorphism",
+    "check_permutation",
+    "check_scaling",
+    "check_opaque_discipline",
+]
+
+#: Generous load-growth allowance for the scaling invariant: constants
+#: dominate at fuzz-sized instances, so we only flag gross blow-ups.
+LOAD_GROWTH_FACTOR = 1.5
+LOAD_GROWTH_SLACK = 64
+#: Extra rounds allowed when p grows.  Heavy/light partitioning shifts with
+#: the p-dependent threshold, so the metered round count wobbles by a
+#: constant factor of itself (never asymptotically in p): allow an absolute
+#: floor plus a quarter of the baseline.
+ROUND_SLACK = 6
+
+
+class InvariantViolation(AssertionError):
+    """A conformance invariant failed on a concrete instance."""
+
+    def __init__(self, invariant: str, algorithm: str, message: str) -> None:
+        super().__init__(f"[{invariant}/{algorithm}] {message}")
+        self.invariant = invariant
+        self.algorithm = algorithm
+        self.message = message
+
+
+def _result_map(relation: Relation) -> Dict[Tuple[Any, ...], Any]:
+    return dict(relation.tuples)
+
+
+def check_differential(case: FuzzCase, config) -> None:
+    """Every applicable algorithm against the RAM oracle, exact equality."""
+    instance = materialize(case)
+    expected = _result_map(evaluate(instance))
+    for algorithm in applicable_algorithms(case.query):
+        result = run_query(instance, p=config.p, algorithm=algorithm)
+        got = _result_map(result.relation)
+        if got != expected:
+            missing = len(expected.keys() - got.keys())
+            extra = len(got.keys() - expected.keys())
+            raise InvariantViolation(
+                "differential",
+                algorithm,
+                f"disagrees with oracle over {case.profile}: "
+                f"{len(got)} vs {len(expected)} tuples "
+                f"({missing} missing, {extra} extra, "
+                f"{sum(1 for k in expected if k in got and got[k] != expected[k])} "
+                f"wrong annotations)",
+            )
+
+
+_MOD = 97
+
+
+def _hom_semirings() -> List[Tuple[str, Semiring, Callable[[int], Any]]]:
+    mod97 = Semiring(
+        name="mod-97",
+        zero=0,
+        one=1,
+        add=lambda a, b: (a + b) % _MOD,
+        mul=lambda a, b: (a * b) % _MOD,
+    )
+    return [
+        ("positivity:ℕ→𝔹", BOOLEAN, lambda value: value > 0),
+        ("mod-97:ℕ→ℤ", mod97, lambda value: value % _MOD),
+    ]
+
+
+def check_homomorphism(case: FuzzCase, config) -> None:
+    """h(alg(I)) == alg(h(I)) for semiring homomorphisms h out of ℕ."""
+    instance = materialize(case, profile="counting")
+    base = run_query(instance, p=config.p, algorithm="auto")
+    for label, target, hom in _hom_semirings():
+        mapped_relations = {
+            name: Relation(
+                name,
+                relation.schema,
+                [(values, hom(weight)) for values, weight in relation],
+                semiring=target,
+            )
+            for name, relation in instance.relations.items()
+        }
+        mapped_instance = Instance(case.query, mapped_relations, target)
+        mapped = run_query(mapped_instance, p=config.p, algorithm="auto")
+        expected = {k: hom(v) for k, v in base.relation.tuples.items()}
+        if _result_map(mapped.relation) != expected:
+            raise InvariantViolation(
+                "homomorphism",
+                mapped.algorithm,
+                f"evaluation does not commute with {label}",
+            )
+
+
+def check_permutation(case: FuzzCase, config) -> None:
+    """Attribute renaming + relation/tuple reorder leave the answer fixed."""
+    instance = materialize(case, profile="counting")
+    base = run_query(instance, p=config.p, algorithm="auto")
+
+    rng = random.Random(case.seed ^ 0x5EED)
+    attrs = sorted(case.query.attributes)
+    shuffled = list(attrs)
+    rng.shuffle(shuffled)
+    # Fresh names whose sort order is itself permuted.
+    rename = {attr: f"X{i:02d}_{attr}" for attr, i in zip(attrs, _ranks(shuffled, attrs))}
+
+    specs = [
+        (name, (rename[a], rename[b])) for name, (a, b) in case.query.relations
+    ]
+    rng.shuffle(specs)
+    permuted_query = TreeQuery(
+        tuple(specs), frozenset(rename[a] for a in case.query.output)
+    )
+    permuted_relations = {}
+    for name, _attrs in case.query.relations:
+        rows = list(case.skeleton[name])
+        rng.shuffle(rows)
+        schema = permuted_query.schema_of(name)
+        relation = Relation(name, schema)
+        for values, weight in rows:
+            relation.add(values, weight, COUNTING)
+        permuted_relations[name] = relation
+    permuted_instance = Instance(permuted_query, permuted_relations, COUNTING)
+    permuted = run_query(permuted_instance, p=config.p, algorithm="auto")
+
+    # Re-key the permuted result onto the original output order.
+    permuted_schema = tuple(sorted(permuted_query.output))
+    original_schema = tuple(sorted(case.query.output))
+    position = {
+        rename[attr]: index for index, attr in enumerate(original_schema)
+    }
+    rekeyed: Dict[Tuple[Any, ...], Any] = {}
+    for values, weight in permuted.relation:
+        key: List[Any] = [None] * len(values)
+        for renamed_attr, value in zip(permuted_schema, values):
+            key[position[renamed_attr]] = value
+        rekeyed[tuple(key)] = weight
+    if rekeyed != _result_map(base.relation):
+        raise InvariantViolation(
+            "permutation",
+            permuted.algorithm,
+            "result changed under attribute renaming / input reordering",
+        )
+
+
+def _ranks(shuffled: List[str], attrs: List[str]) -> List[int]:
+    order = {attr: index for index, attr in enumerate(shuffled)}
+    return [order[attr] for attr in attrs]
+
+
+def check_scaling(case: FuzzCase, config) -> None:
+    """Load must not blow up and rounds must stay stable as p grows."""
+    instance = materialize(case, profile="counting")
+    small = run_query(instance, p=config.p, algorithm="auto")
+    large = run_query(instance, p=config.p_large, algorithm="auto")
+    if large.relation.tuples != small.relation.tuples:
+        raise InvariantViolation(
+            "scaling", small.algorithm, "answer changed with the server count"
+        )
+    load_bound = small.report.max_load * LOAD_GROWTH_FACTOR + LOAD_GROWTH_SLACK
+    if large.report.max_load > load_bound:
+        raise InvariantViolation(
+            "scaling",
+            small.algorithm,
+            f"max load grew from {small.report.max_load} (p={config.p}) to "
+            f"{large.report.max_load} (p={config.p_large})",
+        )
+    round_bound = small.report.rounds + max(ROUND_SLACK, small.report.rounds // 4)
+    if large.report.rounds > round_bound:
+        raise InvariantViolation(
+            "scaling",
+            small.algorithm,
+            f"rounds grew from {small.report.rounds} (p={config.p}) to "
+            f"{large.report.rounds} (p={config.p_large})",
+        )
+
+
+def check_opaque_discipline(case: FuzzCase, config) -> None:
+    """§1.3 discipline: annotations only ever combined through ⊕/⊗.
+
+    Runs every applicable algorithm over the opaque semiring; any arithmetic
+    outside the semiring object raises ``TypeError`` inside the algorithm,
+    and the unwrapped values must equal the plain counting oracle's.
+    """
+    counting = materialize(case, profile="counting")
+    expected = _result_map(evaluate(counting))
+    for algorithm in applicable_algorithms(case.query):
+        semiring, counters = OpaqueSemiring.make()
+        relations = {}
+        for name, attrs in case.query.relations:
+            relation = Relation(name, attrs)
+            for values, weight in case.skeleton[name]:
+                relation.add(values, OpaqueSemiring.wrap(weight), semiring)
+            relations[name] = relation
+        instance = Instance(case.query, relations, semiring)
+        try:
+            result = run_query(instance, p=config.p, algorithm=algorithm)
+        except TypeError as error:
+            raise InvariantViolation(
+                "opaque-discipline", algorithm, f"discipline violation: {error}"
+            ) from error
+        got = {
+            key: OpaqueSemiring.unwrap(value)
+            for key, value in result.relation.tuples.items()
+        }
+        if got != expected:
+            raise InvariantViolation(
+                "opaque-discipline",
+                algorithm,
+                f"opaque run disagrees with counting oracle: "
+                f"{len(got)} vs {len(expected)} tuples",
+            )
+        if expected and counters["mul"] == 0:
+            raise InvariantViolation(
+                "opaque-discipline",
+                algorithm,
+                "non-empty result produced without any ⊗ invocation",
+            )
+
+
+#: Name → checker; the runner cycles through this catalog.
+INVARIANTS: Dict[str, Callable[[FuzzCase, Any], None]] = {
+    "differential": check_differential,
+    "homomorphism": check_homomorphism,
+    "permutation": check_permutation,
+    "scaling": check_scaling,
+    "opaque-discipline": check_opaque_discipline,
+}

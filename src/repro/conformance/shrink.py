@@ -1,0 +1,123 @@
+"""Instance shrinking: delta-debug a failing case down to a minimal repro.
+
+Classic ddmin over the case's tuple skeleton: repeatedly try removing chunks
+of tuples (halving granularity down to single tuples, per relation, until a
+fixpoint) and, once minimal in tuples, try normalizing every weight to 1.
+The query shape is never changed — a repro must fail *the same query* the
+fuzzer generated — and every candidate is re-validated by re-running the
+failing invariant, so the result is guaranteed to still be red.
+
+Removal can empty a relation entirely; the algorithms must handle empty
+inputs, and a candidate that merely *changes* the failure (a different
+exception) still counts as failing — standard delta-debugging practice,
+since any red instance this small is worth keeping.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from .generators import FuzzCase, skeleton_size
+
+__all__ = ["shrink_case", "failing_predicate"]
+
+#: Safety valve: predicate evaluations per shrink (each runs algorithms).
+MAX_PREDICATE_CALLS = 400
+
+
+def failing_predicate(
+    check: Callable[[FuzzCase, object], None], config
+) -> Callable[[FuzzCase], bool]:
+    """Wrap an invariant checker as a ``case -> still-failing?`` predicate.
+
+    Any exception — the original :class:`InvariantViolation` or a crash the
+    smaller instance provokes instead — counts as "still failing".
+    """
+
+    def predicate(case: FuzzCase) -> bool:
+        try:
+            check(case, config)
+        except Exception:
+            return True
+        return False
+
+    return predicate
+
+
+def shrink_case(
+    case: FuzzCase,
+    predicate: Callable[[FuzzCase], bool],
+    budget: int = MAX_PREDICATE_CALLS,
+) -> FuzzCase:
+    """Smallest failing variant of ``case`` reachable by tuple removal.
+
+    ``predicate`` must return True while the case still fails.  Returns the
+    original case unchanged if it does not fail to begin with (nothing to
+    shrink) or if no reduction survives.
+    """
+    calls = [0]
+
+    def still_fails(candidate: FuzzCase) -> bool:
+        if calls[0] >= budget:
+            return False
+        calls[0] += 1
+        return predicate(candidate)
+
+    if not still_fails(case):
+        return case
+
+    current = case
+    improved = True
+    while improved and calls[0] < budget:
+        improved = False
+        for name in sorted(current.skeleton):
+            rows = current.skeleton[name]
+            if not rows:
+                continue
+            reduced = _shrink_relation(current, name, still_fails)
+            if skeleton_size(reduced) < skeleton_size(current):
+                current = reduced
+                improved = True
+
+    # Weight normalization: a repro with unit weights is easier to read.
+    flattened = {
+        name: [(values, 1) for values, _weight in rows]
+        for name, rows in current.skeleton.items()
+    }
+    if flattened != current.skeleton:
+        candidate = current.replace_skeleton(flattened)
+        if still_fails(candidate):
+            current = candidate
+    return current
+
+
+def _shrink_relation(
+    case: FuzzCase,
+    name: str,
+    still_fails: Callable[[FuzzCase], bool],
+) -> FuzzCase:
+    """ddmin on one relation's tuple list, keeping the others fixed."""
+    current = case
+    chunk = max(1, len(current.skeleton[name]) // 2)
+    while chunk >= 1:
+        rows = current.skeleton[name]
+        start = 0
+        removed_any = False
+        while start < len(current.skeleton[name]):
+            rows = current.skeleton[name]
+            candidate_rows = rows[:start] + rows[start + chunk:]
+            if len(candidate_rows) == len(rows):
+                break
+            skeleton = dict(current.skeleton)
+            skeleton[name] = candidate_rows
+            candidate = current.replace_skeleton(skeleton)
+            if still_fails(candidate):
+                current = candidate
+                removed_any = True
+                # Retry the same window — new rows shifted into it.
+            else:
+                start += chunk
+        if chunk == 1 and not removed_any:
+            break
+        chunk = chunk // 2 if chunk > 1 else (1 if removed_any else 0)
+    return current

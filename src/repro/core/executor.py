@@ -4,14 +4,21 @@
 onto a simulated cluster, picks the paper's algorithm for the query's class
 (or the requested one), and returns the result together with the measured
 :class:`~repro.mpc.stats.CostReport`.
+
+Dispatch goes through a declarative registry (:data:`ALGORITHMS`): each
+entry couples an algorithm name with the structural predicate deciding
+whether a query has the required shape and the function that runs it.  The
+registry is introspectable — :func:`applicable_algorithms` is how the
+conformance fuzzer (:mod:`repro.conformance`) enumerates every algorithm a
+random query can legally exercise, instead of hardcoding the zoo.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Literal, Optional
+from typing import Callable, Dict, List, Literal, Optional
 
-from ..data.query import Instance, QueryClass
+from ..data.query import Instance, QueryClass, TreeQuery
 from ..data.relation import DistRelation, Relation
 from ..mpc.cluster import ClusterView, MPCCluster
 from ..mpc.stats import CostReport
@@ -23,7 +30,15 @@ from .tree import tree_query
 from .two_way_join import aggregate_relation
 from .yannakakis_mpc import yannakakis_mpc_distributed
 
-__all__ = ["run_query", "QueryResult", "Algorithm"]
+__all__ = [
+    "run_query",
+    "QueryResult",
+    "Algorithm",
+    "AlgorithmSpec",
+    "ALGORITHMS",
+    "AUTO_CHOICE",
+    "applicable_algorithms",
+]
 
 Algorithm = Literal["auto", "yannakakis", "matmul", "line", "star", "star-like", "tree"]
 
@@ -74,15 +89,7 @@ def run_query(
 
     chosen = algorithm
     if algorithm == "auto":
-        chosen = {
-            "free-connex": "yannakakis",
-            "matmul": "line",
-            "line": "line",
-            "star": "star",
-            "star-like": "star-like",
-            "twig": "tree",
-            "tree": "tree",
-        }[query_class]
+        chosen = AUTO_CHOICE[query_class]
 
     tracer = cluster.tracker.tracer
     if tracer is not None:
@@ -110,50 +117,145 @@ def run_query(
     )
 
 
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """One registered distributed algorithm.
+
+    ``applies`` is the structural predicate (a query may satisfy several —
+    a matmul query is also a legal star and star-like query), ``run``
+    evaluates a pre-loaded instance, and ``requirement`` names the shape in
+    error messages.
+    """
+
+    name: str
+    applies: Callable[[TreeQuery], bool]
+    run: Callable[[Instance, ClusterView, Dict[str, DistRelation]], DistRelation]
+    requirement: str
+
+
+def _run_yannakakis(
+    instance: Instance, view: ClusterView, loaded: Dict[str, DistRelation]
+) -> DistRelation:
+    return yannakakis_mpc_distributed(instance, view)
+
+
+def _run_line(
+    instance: Instance, view: ClusterView, loaded: Dict[str, DistRelation]
+) -> DistRelation:
+    query = instance.query
+    order = query.path_order()
+    rels = [
+        loaded[_rel_between(query, order[i], order[i + 1])]
+        for i in range(len(order) - 1)
+    ]
+    return line_query(rels, order, instance.semiring)
+
+
+def _run_star(
+    instance: Instance, view: ClusterView, loaded: Dict[str, DistRelation]
+) -> DistRelation:
+    query = instance.query
+    centre = next(
+        a for a in query.attributes
+        if all(a in attrs for _n, attrs in query.relations)
+    )
+    arm_attrs = []
+    rels = []
+    for name, attrs in query.relations:
+        arm_attrs.append(attrs[0] if attrs[1] == centre else attrs[1])
+        rels.append(loaded[name])
+    return star_query(rels, arm_attrs, centre, instance.semiring)
+
+
+def _run_starlike(
+    instance: Instance, view: ClusterView, loaded: Dict[str, DistRelation]
+) -> DistRelation:
+    return starlike_query(instance.query, loaded, instance.semiring)
+
+
+def _run_tree(
+    instance: Instance, view: ClusterView, loaded: Dict[str, DistRelation]
+) -> DistRelation:
+    return tree_query(instance.query, loaded, instance.semiring)
+
+
+#: The algorithm zoo, in dispatch-preference order.  ``yannakakis`` and
+#: ``tree`` accept every tree query; the others require their paper shape.
+ALGORITHMS: Dict[str, AlgorithmSpec] = {
+    spec.name: spec
+    for spec in (
+        AlgorithmSpec(
+            "yannakakis",
+            lambda query: True,
+            _run_yannakakis,
+            "a tree query",
+        ),
+        AlgorithmSpec(
+            "matmul",
+            lambda query: query.is_matmul(),
+            _run_line,
+            "a line query",
+        ),
+        AlgorithmSpec(
+            "line",
+            lambda query: query.is_line() or query.is_matmul(),
+            _run_line,
+            "a line query",
+        ),
+        AlgorithmSpec(
+            "star",
+            lambda query: query.is_star(),
+            _run_star,
+            "a star query",
+        ),
+        AlgorithmSpec(
+            "star-like",
+            lambda query: query.is_star_like(),
+            _run_starlike,
+            "star-like",
+        ),
+        AlgorithmSpec(
+            "tree",
+            lambda query: True,
+            _run_tree,
+            "a tree query",
+        ),
+    )
+}
+
+#: The executor's ``algorithm="auto"`` choice per query class (Table 1).
+AUTO_CHOICE: Dict[QueryClass, str] = {
+    "free-connex": "yannakakis",
+    "matmul": "line",
+    "line": "line",
+    "star": "star",
+    "star-like": "star-like",
+    "twig": "tree",
+    "tree": "tree",
+}
+
+
+def applicable_algorithms(query: TreeQuery) -> List[str]:
+    """Every registered algorithm whose shape predicate accepts ``query``.
+
+    Always non-empty (``yannakakis`` and ``tree`` accept everything); the
+    conformance fuzzer runs all of them differentially against the oracle.
+    """
+    return [name for name, spec in ALGORITHMS.items() if spec.applies(query)]
+
+
 def _dispatch(chosen: str, instance: Instance, view: ClusterView) -> DistRelation:
     query = instance.query
-    semiring = instance.semiring
+    spec = ALGORITHMS.get(chosen)
+    if spec is None:
+        raise ValueError(f"unknown algorithm {chosen!r}")
+    if not spec.applies(query):
+        raise ValueError(f"query is not {spec.requirement}: {query.classify()}")
     loaded: Dict[str, DistRelation] = {
         name: DistRelation.load(view, instance.relation(name))
         for name, _ in query.relations
     }
-
-    if chosen == "yannakakis":
-        return yannakakis_mpc_distributed(instance, view)
-
-    if chosen in ("matmul", "line"):
-        order = query.path_order()
-        if order is None or not (query.is_line() or query.is_matmul()):
-            raise ValueError(f"query is not a line query: {query.classify()}")
-        rels = [
-            loaded[_rel_between(query, order[i], order[i + 1])]
-            for i in range(len(order) - 1)
-        ]
-        return line_query(rels, order, semiring)
-
-    if chosen == "star":
-        if not query.is_star():
-            raise ValueError(f"query is not a star query: {query.classify()}")
-        centre = next(
-            a for a in query.attributes
-            if all(a in attrs for _n, attrs in query.relations)
-        )
-        arm_attrs = []
-        rels = []
-        for name, attrs in query.relations:
-            arm_attrs.append(attrs[0] if attrs[1] == centre else attrs[1])
-            rels.append(loaded[name])
-        return star_query(rels, arm_attrs, centre, semiring)
-
-    if chosen == "star-like":
-        if not query.is_star_like():
-            raise ValueError(f"query is not star-like: {query.classify()}")
-        return starlike_query(query, loaded, semiring)
-
-    if chosen == "tree":
-        return tree_query(query, loaded, semiring)
-
-    raise ValueError(f"unknown algorithm {chosen!r}")
+    return spec.run(instance, view, loaded)
 
 
 def _rel_between(query, left: str, right: str) -> str:

@@ -28,6 +28,8 @@ __all__ = [
     "read_relation_tsv",
     "instance_to_json",
     "instance_from_json",
+    "write_instance_json",
+    "read_instance_json",
 ]
 
 _SEMIRINGS_BY_NAME: Dict[str, Semiring] = {s.name: s for s in STANDARD_SEMIRINGS}
@@ -145,6 +147,21 @@ def instance_from_json(document: Union[str, dict]) -> Instance:
         relations[entry["name"]] = relation
     query = TreeQuery(tuple(specs), frozenset(data["output"]))
     return Instance(query, relations, semiring)
+
+
+def write_instance_json(instance: Instance, path: str, indent: int = 2) -> None:
+    """Write :func:`instance_to_json` output to ``path`` (pretty-printed,
+    stable key order — suitable for checked-in fixtures and fuzz corpora)."""
+    document = json.loads(instance_to_json(instance))
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=indent, sort_keys=True)
+        handle.write("\n")
+
+
+def read_instance_json(path: str) -> Instance:
+    """Load an instance written by :func:`write_instance_json`."""
+    with open(path) as handle:
+        return instance_from_json(json.load(handle))
 
 
 def _jsonify(value: Any) -> Any:

@@ -23,7 +23,13 @@ from .workloads import (
     twig_instance,
 )
 
-__all__ = ["ComparisonRow", "compare_on", "table1_report", "render_markdown"]
+__all__ = [
+    "ComparisonRow",
+    "TABLE1_FAMILIES",
+    "compare_on",
+    "table1_report",
+    "render_markdown",
+]
 
 
 @dataclass(frozen=True)
@@ -87,8 +93,15 @@ def compare_on(
     )
 
 
+#: Table-1 row labels in presentation order.
+TABLE1_FAMILIES = ("matmul", "line", "star", "tree")
+
+
 def table1_report(
-    scale: int = 300, p: int = 16, tracer: Optional[Any] = None
+    scale: int = 300,
+    p: int = 16,
+    tracer: Optional[Any] = None,
+    families: Optional[Sequence[str]] = None,
 ) -> List[ComparisonRow]:
     """One adversarial instance per Table-1 row, measured.
 
@@ -96,7 +109,10 @@ def table1_report(
     adversarial ones where the baseline's intermediate exceeds OUT (see
     docs/paper_notes.md on why uniform-random data would show ties).
     ``tracer`` traces every row's paper-algorithm run into one event
-    stream, scoped by the row label.
+    stream, scoped by the row label.  ``families`` selects a subset of
+    :data:`TABLE1_FAMILIES` (default all); an empty selection is legal and
+    returns no rows, and an unknown name raises ``ValueError`` rather than
+    silently measuring nothing.
     """
     builders: Sequence[tuple] = (
         ("matmul", lambda: planted_out_matmul(n=scale, out=min(scale * scale, 64 * scale))),
@@ -108,7 +124,18 @@ def table1_report(
             seed=1,
         )),
     )
-    return [compare_on(builder(), label, p=p, tracer=tracer) for label, builder in builders]
+    if families is None:
+        selected = builders
+    else:
+        unknown = sorted(set(families) - set(TABLE1_FAMILIES))
+        if unknown:
+            raise ValueError(
+                f"unknown Table-1 families {unknown}; "
+                f"choose from {', '.join(TABLE1_FAMILIES)}"
+            )
+        wanted = set(families)
+        selected = [entry for entry in builders if entry[0] in wanted]
+    return [compare_on(builder(), label, p=p, tracer=tracer) for label, builder in selected]
 
 
 def render_markdown(rows: Sequence[ComparisonRow]) -> str:

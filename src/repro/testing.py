@@ -149,48 +149,51 @@ def fuzz_differential(
     tuples: int = 12,
     domain: int = 4,
 ) -> int:
-    """Differential fuzzing: random tree queries + instances, every
-    algorithm vs the oracle.
+    """Deprecated forwarder to :func:`repro.conformance.fuzz`.
 
-    Returns the number of instances checked; raises ``AssertionError`` on
-    the first disagreement.  Deterministic per seed — put a call with your
-    configuration into CI when extending the algorithms.
+    The conformance package supersedes this helper: structured query
+    families instead of ad-hoc random trees, the full invariant catalog,
+    shrinking, and corpus serialization.  This wrapper keeps the original
+    contract — fully deterministic per seed (one ``random.Random(seed)``
+    drives the whole campaign), returns the number of instances checked,
+    raises ``AssertionError`` on the first differential disagreement.
+
+    ``max_attrs`` is accepted for compatibility but ignored: query shapes
+    now come from the generator's family grid, which covers every class
+    the executor dispatches on.
     """
-    import random
+    import warnings
 
-    from .semiring import COUNTING, TROPICAL_MIN_PLUS
-    from .data.query import TreeQuery
+    warnings.warn(
+        "repro.testing.fuzz_differential is deprecated; use "
+        "repro.conformance.fuzz (or `repro fuzz` on the command line)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    del max_attrs  # shape control moved to GeneratorConfig.families
 
-    rng = random.Random(seed)
-    checked = 0
-    for _ in range(iterations):
-        m = rng.randint(2, max_attrs)
-        attrs = [f"X{i}" for i in range(m)]
-        relations = []
-        for i in range(1, m):
-            parent = attrs[rng.randrange(i)]
-            relations.append((f"R{i}", (parent, attrs[i])))
-        outputs = frozenset(a for a in attrs if rng.random() < 0.5)
-        query = TreeQuery(tuple(relations), outputs)
-        semiring, weight = rng.choice(
-            [
-                (COUNTING, lambda: rng.randint(1, 4)),
-                (TROPICAL_MIN_PLUS, lambda: float(rng.randint(0, 9))),
-            ]
+    # Imported lazily: repro.conformance.generators imports OpaqueSemiring
+    # from this module.
+    from .conformance import FuzzConfig, fuzz
+
+    summary = fuzz(
+        FuzzConfig(
+            iterations=iterations,
+            seed=seed,
+            p=p,
+            max_tuples=tuples,
+            domain=domain,
+            invariants=("differential",),
+            shrink=True,
+            fail_fast=True,
         )
-        instance_relations = {}
-        for name, pair in query.relations:
-            relation = Relation(name, pair)
-            seen = set()
-            attempts = 0
-            while len(seen) < tuples and attempts < 50 * tuples:
-                attempts += 1
-                entry = (rng.randrange(domain), rng.randrange(domain))
-                if entry not in seen:
-                    seen.add(entry)
-                    relation.add(entry, weight())
-            instance_relations[name] = relation
-        instance = Instance(query, instance_relations, semiring)
-        compare_algorithms(instance, p=p)
-        checked += 1
-    return checked
+    )
+    if not summary.ok:
+        failure = summary.failures[0]
+        raise AssertionError(
+            f"differential fuzzing failed at iteration {failure.iteration} "
+            f"(family={failure.family}, semiring={failure.profile}, "
+            f"case seed={failure.case_seed}, shrunk to "
+            f"{failure.shrunk_tuples} tuples): {failure.message}"
+        )
+    return summary.checked

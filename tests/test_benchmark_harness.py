@@ -82,9 +82,37 @@ def test_write_results_json(tmp_path):
     assert table["rows"] == [["a", 42], ["b", 3.5]]
 
 
-def test_empty_registry_writes_nothing(tmp_path):
+def test_empty_registry_emits_valid_empty_json(tmp_path):
+    """A zero-row run (e.g. an empty family selection) must still produce a
+    loadable results.json; results.md is skipped so an empty run does not
+    churn real tables down the capped history."""
     harness = _fresh_harness()
     md = tmp_path / "results.md"
-    harness.write_results(str(md))
-    harness.write_results_json(str(tmp_path / "results.json"))
+    harness.write_results(str(md), now="2026-08-06T00:00:00")
+    path = tmp_path / "results.json"
+    harness.write_results_json(str(path), now="2026-08-06T00:00:00")
     assert not md.exists()
+    document = json.load(open(path))
+    assert document == {"generated": "2026-08-06T00:00:00", "tables": {}}
+
+
+def test_write_results_json_accepts_bare_filename(tmp_path, monkeypatch):
+    """A path with no directory component must not crash makedirs."""
+    harness = _fresh_harness()
+    monkeypatch.chdir(tmp_path)
+    harness.write_results_json("results.json", now="2026-08-06T00:00:00")
+    assert json.load(open("results.json"))["tables"] == {}
+
+
+def test_table1_report_empty_family_selection():
+    from repro.reporting import TABLE1_FAMILIES, table1_report
+
+    assert table1_report(scale=40, p=4, families=()) == []
+    rows = table1_report(scale=40, p=4, families=("matmul",))
+    assert [row.label for row in rows] == ["matmul"]
+    assert set(TABLE1_FAMILIES) >= {"matmul", "line", "star", "tree"}
+
+    import pytest
+
+    with pytest.raises(ValueError):
+        table1_report(scale=40, p=4, families=("nope",))

@@ -137,3 +137,75 @@ def test_reporting_module():
     markdown = render_markdown(rows)
     assert markdown.count("\n") == len(rows) + 1
     assert "| matmul |" in markdown
+
+
+def test_fuzz_smoke(capsys):
+    code = main(["fuzz", "--iterations", "6"])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "OK: no invariant violations" in captured.out
+    assert "family" in captured.out and "invariant" in captured.out
+
+
+def test_fuzz_json_is_deterministic_per_seed(capsys):
+    code = main(["fuzz", "--iterations", "8", "--seed", "4", "--json"])
+    first = capsys.readouterr().out
+    assert code == 0
+    code = main(["fuzz", "--iterations", "8", "--seed", "4", "--json"])
+    second = capsys.readouterr().out
+    assert code == 0
+    assert first == second
+    document = json.loads(first)
+    assert document["ok"] is True and document["checked"] == 8
+
+
+def test_fuzz_restricted_families_and_invariants(capsys):
+    code = main(["fuzz", "--iterations", "4", "--families", "star",
+                 "--invariants", "differential", "--json"])
+    document = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert set(document["coverage"]["family"]) == {"star"}
+    assert set(document["coverage"]["invariant"]) == {"differential"}
+
+
+def test_fuzz_rejects_unknown_selection(capsys):
+    code = main(["fuzz", "--families", "pentagon"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "unknown --families value" in captured.err
+
+
+def test_fuzz_seconds_budget(capsys):
+    code = main(["fuzz", "--seconds", "0.5", "--json"])
+    document = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert document["checked"] >= 1
+
+
+def test_fuzz_reports_planted_bug_with_corpus(capsys, tmp_path):
+    from repro.conformance import corpus_files, planted_exchange_off_by_one
+
+    corpus = str(tmp_path / "corpus")
+    with planted_exchange_off_by_one():
+        code = main(["fuzz", "--iterations", "30", "--invariants",
+                     "differential", "--fail-fast", "--corpus", corpus])
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "FAILURES: 1" in captured.err
+    assert "shrunk" in captured.err
+    assert len(corpus_files(corpus)) == 1
+
+
+def test_table1_families_subset_cli(capsys):
+    code = main(["table1", "--scale", "40", "--p", "4",
+                 "--families", "star", "--json"])
+    document = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert [row["label"] for row in document["rows"]] == ["star"]
+
+
+def test_table1_unknown_family_cli(capsys):
+    code = main(["table1", "--scale", "40", "--p", "4", "--families", "bogus"])
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "unknown Table-1 families" in captured.err

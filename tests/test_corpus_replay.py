@@ -1,0 +1,35 @@
+"""Auto-replay of the checked-in fuzz corpus.
+
+Every ``tests/corpus/*.json`` file is a shrunk failing instance serialized
+by the conformance fuzzer (``repro fuzz --corpus tests/corpus``).  Checking
+one in turns a one-off fuzz finding into a permanent regression test: this
+module replays each entry's failing invariant on every run, so the file
+must stay green forever after the underlying bug is fixed.
+
+The directory is empty in a healthy tree — the parametrization then
+produces a single explicitly-passing placeholder instead of silently
+collecting nothing.
+"""
+
+import os
+
+import pytest
+
+from repro.conformance import corpus_files, load_case, replay_case
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+
+_ENTRIES = corpus_files(CORPUS_DIR)
+
+
+@pytest.mark.parametrize(
+    "path",
+    _ENTRIES or [None],
+    ids=[os.path.basename(p) for p in _ENTRIES] or ["corpus-empty"],
+)
+def test_corpus_entry_replays_green(path):
+    if path is None:
+        assert corpus_files(CORPUS_DIR) == []  # healthy tree, nothing to replay
+        return
+    case, meta = load_case(path)
+    replay_case(case, meta)

@@ -9,10 +9,15 @@ precondition of the paper's lower bounds.
 """
 
 import random
+import zlib
 
 import pytest
 
 from repro import run_query
+from repro.conformance import QUERY_FAMILIES, SKEW_PROFILES, FuzzCase
+from repro.conformance.generators import random_query, random_skeleton
+from repro.conformance.invariants import check_opaque_discipline
+from repro.core.executor import applicable_algorithms
 from repro.data import Instance, Relation
 from repro.testing import OpaqueSemiring, compare_algorithms, oracle
 from tests.conftest import (
@@ -62,6 +67,41 @@ def test_algorithms_respect_the_semiring_model(query, algorithm):
     # The algorithm actually used the semiring (for non-empty results).
     if plain:
         assert counters["mul"] > 0
+
+
+class _SeededConfig:
+    p = 5
+
+
+@pytest.mark.parametrize("family", QUERY_FAMILIES)
+@pytest.mark.parametrize("skew", SKEW_PROFILES)
+def test_every_registry_algorithm_respects_the_semiring_model(family, skew):
+    """§1.3 discipline for EVERY algorithm the registry dispatches to the
+    query class — line, star, star-like and tree included, not just the
+    matmul path — on conformance-generated instances of every skew."""
+    rng = random.Random(zlib.crc32(f"{family}/{skew}".encode()))
+    query = random_query(rng, family)
+    skeleton = random_skeleton(rng, query, tuples=10, domain=4, skew=skew)
+    case = FuzzCase(
+        query=query,
+        skeleton=skeleton,
+        profile="opaque",
+        family=family,
+        skew=skew,
+        seed=0,
+    )
+    # Exercises every applicable registry algorithm over OpaqueSemiring and
+    # cross-checks values against the counting oracle.
+    check_opaque_discipline(case, _SeededConfig())
+    # Sanity: the specialized algorithm for this family really was covered.
+    covered = applicable_algorithms(query)
+    assert set(covered) >= {"yannakakis", "tree"}
+    if family in ("star", "matmul"):
+        assert "star" in covered
+    if family in ("matmul", "line"):
+        assert "line" in covered
+    if family != "tree":
+        assert "star-like" in covered
 
 
 def test_opaque_elements_reject_foreign_arithmetic():

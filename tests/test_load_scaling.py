@@ -8,6 +8,7 @@ tests pin the exponents in CI.  All instances are deterministic.
 import math
 
 from repro import run_query
+from repro.core.matmul_output_sensitive import matmul_output_sensitive
 from repro.core.matmul_worst_case import matmul_worst_case
 from repro.data import DistRelation, Instance, Relation
 from repro.mpc import MPCCluster
@@ -51,6 +52,31 @@ def test_worst_case_load_scales_like_inverse_sqrt_p():
         loads.append(cluster.report().max_load)
     slope = _slope(ps, loads)
     assert -0.85 <= slope <= -0.25, (loads, slope)
+
+
+def test_output_sensitive_load_scales_like_p_to_minus_two_thirds():
+    """L ∝ p^{-2/3} on the (N1N2·OUT)^{1/3}/p^{2/3} branch of Theorem 1.
+
+    With OUT = N the output-sensitive term equals N/p^{2/3} and dominates
+    both linear terms (N/p and OUT/p are smaller by p^{1/3} for p ≥ 8), so
+    the measured load's log-log slope against p isolates the -2/3 exponent
+    — distinguishable from the worst-case branch's -1/2 and the trivial -1.
+    """
+    n = 16000
+    instance = planted_out_matmul(n=n, out=n)
+    ps = [8, 16, 64]
+    loads = []
+    for p in ps:
+        cluster = MPCCluster(p)
+        view = cluster.view()
+        matmul_output_sensitive(
+            DistRelation.load(view, instance.relation("R1")),
+            DistRelation.load(view, instance.relation("R2")),
+            COUNTING,
+        )
+        loads.append(cluster.report().max_load)
+    slope = _slope(ps, loads)
+    assert -0.8 <= slope <= -0.55, (loads, slope)
 
 
 def test_worst_case_load_scales_linearly_in_n():

@@ -152,4 +152,5 @@ def test_em_reduction_formulas():
 def test_fuzz_differential_helper():
     from repro.testing import fuzz_differential
 
-    assert fuzz_differential(iterations=5, seed=3, p=3) == 5
+    with pytest.deprecated_call():
+        assert fuzz_differential(iterations=5, seed=3, p=3) == 5
