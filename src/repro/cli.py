@@ -15,7 +15,11 @@ Commands aimed at kicking the tires without writing code:
 * ``fuzz`` — run a conformance fuzzing campaign (differential oracle +
   metamorphic invariants, docs/conformance.md): deterministic per seed,
   shrinks failures to minimal repros and optionally serializes them to a
-  replayable corpus directory.
+  replayable corpus directory (``--chaos`` adds the fault-injection tier);
+* ``chaos`` — the chaos tier on its own: every case is re-checked under
+  seeded recoverable fault schedules (crash/drop/duplicate/straggler with
+  checkpoint-replay recovery, docs/model.md) plus one planted
+  unrecoverable schedule that must fail loudly.
 
 ``compare``/``sweep``/``table1`` accept ``--json`` (machine-readable
 output on stdout) and ``--trace-out PATH`` (JSONL trace of the paper
@@ -30,6 +34,7 @@ import sys
 from typing import Any, Callable, Dict, List, Optional
 
 from .conformance import (
+    DEFAULT_INVARIANTS,
     INVARIANTS,
     PROFILES,
     QUERY_FAMILIES,
@@ -140,40 +145,55 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--json", action="store_true",
                        help="print the run summary as JSON instead of the heatmap")
 
+    def add_campaign(p: argparse.ArgumentParser, iterations: int) -> None:
+        p.add_argument("--iterations", type=int, default=iterations,
+                       help="cases to check (ignored when --seconds is given)")
+        p.add_argument("--seconds", type=float, default=None,
+                       help="wall-clock budget instead of an iteration count")
+        p.add_argument("--seed", type=int, default=0,
+                       help="campaign seed; same seed → byte-identical --json output")
+        p.add_argument("--p", type=int, default=4, help="number of servers")
+        p.add_argument("--p-large", type=int, default=8,
+                       help="larger server count for the scaling invariant")
+        p.add_argument("--tuples", type=int, default=12,
+                       help="max tuples per generated relation")
+        p.add_argument("--domain", type=int, default=5,
+                       help="attribute domain width of generated instances")
+        p.add_argument("--families", nargs="+", default=None,
+                       metavar="FAMILY", help="restrict query families "
+                       f"(default: all of {', '.join(QUERY_FAMILIES)})")
+        p.add_argument("--profiles", nargs="+", default=None,
+                       metavar="SEMIRING", help="restrict semiring profiles "
+                       f"(default: all of {', '.join(PROFILES)})")
+        p.add_argument("--corpus", default=None, metavar="DIR",
+                       help="serialize shrunk failures into this directory")
+        p.add_argument("--no-shrink", action="store_true",
+                       help="skip delta-debugging of failures")
+        p.add_argument("--fail-fast", action="store_true",
+                       help="stop at the first invariant violation")
+        p.add_argument("--json", action="store_true",
+                       help="print the campaign summary as JSON")
+
     fuzz = sub.add_parser(
         "fuzz",
         help="conformance fuzzing: differential + metamorphic invariants",
     )
-    fuzz.add_argument("--iterations", type=int, default=25,
-                      help="cases to check (ignored when --seconds is given)")
-    fuzz.add_argument("--seconds", type=float, default=None,
-                      help="wall-clock budget instead of an iteration count")
-    fuzz.add_argument("--seed", type=int, default=0,
-                      help="campaign seed; same seed → byte-identical --json output")
-    fuzz.add_argument("--p", type=int, default=4, help="number of servers")
-    fuzz.add_argument("--p-large", type=int, default=8,
-                      help="larger server count for the scaling invariant")
-    fuzz.add_argument("--tuples", type=int, default=12,
-                      help="max tuples per generated relation")
-    fuzz.add_argument("--domain", type=int, default=5,
-                      help="attribute domain width of generated instances")
-    fuzz.add_argument("--families", nargs="+", default=None,
-                      metavar="FAMILY", help="restrict query families "
-                      f"(default: all of {', '.join(QUERY_FAMILIES)})")
-    fuzz.add_argument("--profiles", nargs="+", default=None,
-                      metavar="SEMIRING", help="restrict semiring profiles "
-                      f"(default: all of {', '.join(PROFILES)})")
+    add_campaign(fuzz, iterations=25)
     fuzz.add_argument("--invariants", nargs="+", default=None,
                       metavar="NAME", help="restrict the invariant catalog "
-                      f"(default: all of {', '.join(INVARIANTS)})")
-    fuzz.add_argument("--corpus", default=None, metavar="DIR",
-                      help="serialize shrunk failures into this directory")
-    fuzz.add_argument("--no-shrink", action="store_true",
-                      help="skip delta-debugging of failures")
-    fuzz.add_argument("--fail-fast", action="store_true",
-                      help="stop at the first invariant violation")
-    fuzz.add_argument("--json", action="store_true",
-                      help="print the campaign summary as JSON")
+                      f"(default: {', '.join(DEFAULT_INVARIANTS)})")
+    fuzz.add_argument("--chaos", action="store_true",
+                      help="also cycle the fault-injection chaos invariant")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="chaos tier: conformance under injected faults + recovery",
+    )
+    add_campaign(chaos, iterations=10)
+    chaos.add_argument("--schedules", type=int, default=2,
+                       help="recoverable fault schedules per case × algorithm")
+    chaos.add_argument("--faults", type=int, default=3,
+                       help="faults per generated schedule")
 
     return parser
 
@@ -390,17 +410,24 @@ def _command_trace(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_fuzz(args: argparse.Namespace) -> int:
-    for flag, chosen, allowed in (
+def _check_campaign_names(args: argparse.Namespace) -> bool:
+    checks = [
         ("--families", args.families, QUERY_FAMILIES),
         ("--profiles", args.profiles, tuple(PROFILES)),
-        ("--invariants", args.invariants, tuple(INVARIANTS)),
-    ):
+    ]
+    if getattr(args, "invariants", None) is not None:
+        checks.append(("--invariants", args.invariants, tuple(INVARIANTS)))
+    for flag, chosen, allowed in checks:
         for name in chosen or ():
             if name not in allowed:
                 print(f"ERROR: unknown {flag} value {name!r} "
                       f"(choose from {', '.join(allowed)})", file=sys.stderr)
-                return 2
+                return False
+    return True
+
+
+def _run_campaign(args: argparse.Namespace, invariants, label: str,
+                  **extra) -> int:
     config = FuzzConfig(
         iterations=args.iterations,
         seconds=args.seconds,
@@ -411,17 +438,18 @@ def _command_fuzz(args: argparse.Namespace) -> int:
         domain=args.domain,
         families=tuple(args.families) if args.families else QUERY_FAMILIES,
         profiles=tuple(args.profiles) if args.profiles else tuple(PROFILES),
-        invariants=tuple(args.invariants) if args.invariants else tuple(INVARIANTS),
+        invariants=invariants,
         corpus=args.corpus,
         shrink=not args.no_shrink,
         fail_fast=args.fail_fast,
+        **extra,
     )
     summary = run_fuzz(config)
     if args.json:
         print(summary.to_json())
         return 0 if summary.ok else 1
 
-    print(f"fuzz: seed={summary.seed} checked={summary.checked} "
+    print(f"{label}: seed={summary.seed} checked={summary.checked} "
           f"p={summary.p}->{summary.p_large} "
           f"max_tuples={summary.max_tuples} domain={summary.domain}")
     for dimension in sorted(summary.coverage):
@@ -445,6 +473,29 @@ def _command_fuzz(args: argparse.Namespace) -> int:
     return 1
 
 
+def _command_fuzz(args: argparse.Namespace) -> int:
+    if not _check_campaign_names(args):
+        return 2
+    invariants = (
+        tuple(args.invariants) if args.invariants else DEFAULT_INVARIANTS
+    )
+    if args.chaos and "chaos" not in invariants:
+        invariants = invariants + ("chaos",)
+    return _run_campaign(args, invariants, "fuzz")
+
+
+def _command_chaos(args: argparse.Namespace) -> int:
+    if not _check_campaign_names(args):
+        return 2
+    return _run_campaign(
+        args,
+        ("differential", "chaos"),
+        "chaos",
+        chaos_schedules=args.schedules,
+        chaos_faults=args.faults,
+    )
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -458,6 +509,8 @@ def main(argv=None) -> int:
         return _command_trace(args)
     if args.command == "fuzz":
         return _command_fuzz(args)
+    if args.command == "chaos":
+        return _command_chaos(args)
     return 2  # pragma: no cover
 
 

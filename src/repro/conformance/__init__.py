@@ -15,9 +15,13 @@ package checks both continuously:
 * :mod:`~repro.conformance.corpus` — serialized repros that pytest replays
   as regression tests;
 * :mod:`~repro.conformance.mutation` — planted bugs proving the harness
-  actually fires.
+  actually fires;
+* :mod:`~repro.conformance.chaos` — the chaos tier: the differential
+  oracle and load/round bounds re-checked under injected faults
+  (:mod:`repro.mpc.faults`), with unrecoverable schedules failing loudly.
 """
 
+from .chaos import CHAOS_FAULTS, CHAOS_SCHEDULES, check_chaos
 from .corpus import (
     case_from_document,
     case_to_document,
@@ -38,12 +42,15 @@ from .generators import (
     random_skeleton,
     skeleton_size,
 )
-from .invariants import INVARIANTS, InvariantViolation
-from .mutation import planted_exchange_off_by_one
+from .invariants import DEFAULT_INVARIANTS, INVARIANTS, InvariantViolation
+from .mutation import planted_drop_blackhole, planted_exchange_off_by_one
 from .runner import FuzzConfig, FuzzFailure, FuzzSummary, fuzz
 from .shrink import failing_predicate, shrink_case
 
 __all__ = [
+    "CHAOS_FAULTS",
+    "CHAOS_SCHEDULES",
+    "DEFAULT_INVARIANTS",
     "FuzzCase",
     "FuzzConfig",
     "FuzzFailure",
@@ -52,6 +59,7 @@ __all__ = [
     "INVARIANTS",
     "InvariantViolation",
     "PROFILES",
+    "check_chaos",
     "QUERY_FAMILIES",
     "SKEW_PROFILES",
     "case_from_document",
@@ -61,6 +69,7 @@ __all__ = [
     "fuzz",
     "load_case",
     "materialize",
+    "planted_drop_blackhole",
     "planted_exchange_off_by_one",
     "random_case",
     "random_query",

@@ -36,6 +36,7 @@ from .generators import FuzzCase, materialize
 __all__ = [
     "InvariantViolation",
     "INVARIANTS",
+    "DEFAULT_INVARIANTS",
     "check_differential",
     "check_homomorphism",
     "check_permutation",
@@ -257,7 +258,9 @@ def check_opaque_discipline(case: FuzzCase, config) -> None:
             )
 
 
-#: Name → checker; the runner cycles through this catalog.
+#: Name → checker; the runner cycles through this catalog.  The chaos tier
+#: (:mod:`repro.conformance.chaos`) registers its ``"chaos"`` invariant
+#: here too, so corpus replay resolves it by name.
 INVARIANTS: Dict[str, Callable[[FuzzCase, Any], None]] = {
     "differential": check_differential,
     "homomorphism": check_homomorphism,
@@ -265,3 +268,14 @@ INVARIANTS: Dict[str, Callable[[FuzzCase, Any], None]] = {
     "scaling": check_scaling,
     "opaque-discipline": check_opaque_discipline,
 }
+
+#: The invariants a plain ``repro fuzz`` campaign cycles by default.  Kept
+#: explicit (rather than ``tuple(INVARIANTS)``) so opt-in registrations
+#: like ``chaos`` never change default summaries — same seed, same bytes.
+DEFAULT_INVARIANTS: Tuple[str, ...] = (
+    "differential",
+    "homomorphism",
+    "permutation",
+    "scaling",
+    "opaque-discipline",
+)

@@ -19,8 +19,9 @@ from contextlib import contextmanager
 from typing import Iterator
 
 from ..mpc.cluster import ClusterView
+from ..mpc.faults import FaultInjector
 
-__all__ = ["planted_exchange_off_by_one"]
+__all__ = ["planted_exchange_off_by_one", "planted_drop_blackhole"]
 
 
 @contextmanager
@@ -47,3 +48,32 @@ def planted_exchange_off_by_one() -> Iterator[None]:
         yield
     finally:
         ClusterView.exchange = original
+
+
+@contextmanager
+def planted_drop_blackhole() -> Iterator[None]:
+    """Monkeypatch drop-fault recovery into a silent blackhole.
+
+    While active, whenever a ``drop`` fault fires the retransmission never
+    arrives: the faulted server's inbox is emptied *after* metering, so
+    every meter still claims a successful recovery while the algorithm
+    silently computes on lost data.  Fault-free runs are untouched — only
+    the chaos tier (``repro chaos`` / the ``chaos`` invariant) can catch
+    this bug, which is exactly what the chaos mutation smoke test asserts.
+    """
+    original = FaultInjector.deliver
+
+    def buggy_deliver(self, view, round_index, counts, op, payloads=None):
+        fired_before = len(self.fired)
+        next_round = original(self, view, round_index, counts, op, payloads)
+        if payloads is not None:
+            for fault in self.fired[fired_before:]:
+                if fault.kind == "drop":
+                    payloads[view.servers.index(fault.server)].clear()
+        return next_round
+
+    FaultInjector.deliver = buggy_deliver
+    try:
+        yield
+    finally:
+        FaultInjector.deliver = original

@@ -32,7 +32,7 @@ from .generators import (
     random_case,
     skeleton_size,
 )
-from .invariants import INVARIANTS, InvariantViolation
+from .invariants import DEFAULT_INVARIANTS, INVARIANTS, InvariantViolation
 from .shrink import failing_predicate, shrink_case
 
 __all__ = ["FuzzConfig", "FuzzFailure", "FuzzSummary", "fuzz"]
@@ -52,10 +52,14 @@ class FuzzConfig:
     families: Sequence[str] = QUERY_FAMILIES
     profiles: Sequence[str] = tuple(PROFILES)
     skews: Sequence[str] = SKEW_PROFILES
-    invariants: Sequence[str] = tuple(INVARIANTS)
+    invariants: Sequence[str] = DEFAULT_INVARIANTS
     corpus: Optional[str] = None
     shrink: bool = True
     fail_fast: bool = False
+    #: Chaos-tier knobs (only read when the ``chaos`` invariant is active):
+    #: recoverable schedules per (case, algorithm) and faults per schedule.
+    chaos_schedules: int = 2
+    chaos_faults: int = 3
 
     def generator(self) -> GeneratorConfig:
         return GeneratorConfig(

@@ -35,14 +35,27 @@ class MPCCluster:
     structured event stream: every exchange/broadcast/gather/transfer and
     every ``run_parallel`` wave emits one event.  Without it, operations pay
     only a ``None`` check — the metered load ``L`` is identical either way.
+
+    ``faults`` (a :class:`~repro.mpc.faults.FaultSchedule` or pre-built
+    :class:`~repro.mpc.faults.FaultInjector`, optional) enables
+    deterministic fault injection with checkpoint/replay recovery; without
+    it (the default) every delivering operation pays a single ``None``
+    check and all meters are bit-identical to a fault-free build.
     """
 
-    def __init__(self, p: int, seed: int = 0, tracer: Optional[Any] = None) -> None:
+    def __init__(self, p: int, seed: int = 0, tracer: Optional[Any] = None,
+                 faults: Optional[Any] = None) -> None:
         if p < 1:
             raise ValueError("cluster needs at least one server")
         self.p = p
         self.seed = seed
         self.tracker = LoadTracker(tracer=tracer)
+        if faults is None:
+            self.faults = None
+        else:
+            from .faults import as_injector
+
+            self.faults = as_injector(faults)
 
     def view(self) -> "ClusterView":
         """The root view over all ``p`` servers, cursor at the current round."""
@@ -108,6 +121,13 @@ class ClusterView:
                 if not 0 <= dest < self.p:
                     raise RoutingError(f"destination {dest} outside view of size {self.p}")
                 inboxes[dest].append(item)
+        injector = self.cluster.faults
+        if injector is not None:
+            self.round = injector.deliver(
+                self, round_index, tuple(len(inbox) for inbox in inboxes), op,
+                inboxes,
+            )
+            return inboxes
         for local_index, inbox in enumerate(inboxes):
             tracker.record_receive(round_index, self.servers[local_index], len(inbox))
         tracker.note_round(round_index)
@@ -154,6 +174,12 @@ class ClusterView:
         everything = [item for part in parts for item in part]
         round_index = self.round
         tracker = self.tracker
+        injector = self.cluster.faults
+        if injector is not None:
+            self.round = injector.deliver(
+                self, round_index, (len(everything),) * self.p, "broadcast"
+            )
+            return everything
         for server in self.servers:
             tracker.record_receive(round_index, server, len(everything))
         tracker.note_round(round_index)
@@ -188,8 +214,21 @@ class ClusterView:
     # -- sub-allocation ----------------------------------------------------------
 
     def subview(self, local_indices: Sequence[int]) -> "ClusterView":
-        """A view over the given local indices, sharing tracker and cursor."""
-        servers = tuple(self.servers[i] for i in local_indices)
+        """A view over the given local indices, sharing tracker and cursor.
+
+        Raises :class:`AllocationError` for an empty request or any index
+        outside ``0..p-1`` — an allocation that asks for servers the view
+        does not own can never be satisfied.
+        """
+        indices = tuple(local_indices)
+        if not indices:
+            raise AllocationError("a view needs at least one server")
+        for index in indices:
+            if not 0 <= index < self.p:
+                raise AllocationError(
+                    f"local index {index} outside view of size {self.p}"
+                )
+        servers = tuple(self.servers[i] for i in indices)
         return ClusterView(self.cluster, servers, self.round)
 
     def split(self, groups: int) -> List["ClusterView"]:

@@ -143,6 +143,15 @@ def transfer(
             if not 0 <= dest < dest_view.p:
                 raise RoutingError(f"destination {dest} outside view of size {dest_view.p}")
             inboxes[dest].append(item)
+    injector = dest_view.cluster.faults
+    if injector is not None:
+        next_round = injector.deliver(
+            dest_view, round_index, tuple(len(inbox) for inbox in inboxes),
+            "transfer", inboxes,
+        )
+        source.view.round = next_round
+        dest_view.round = next_round
+        return Distributed(dest_view, inboxes)
     for local_index, inbox in enumerate(inboxes):
         tracker.record_receive(round_index, dest_view.servers[local_index], len(inbox))
     tracker.note_round(round_index)

@@ -1,6 +1,12 @@
 """Exceptions raised by the MPC simulator."""
 
-__all__ = ["MPCError", "RoutingError", "AllocationError"]
+__all__ = [
+    "MPCError",
+    "RoutingError",
+    "AllocationError",
+    "FaultError",
+    "UnrecoverableFaultError",
+]
 
 
 class MPCError(RuntimeError):
@@ -13,3 +19,28 @@ class RoutingError(MPCError):
 
 class AllocationError(MPCError):
     """A server-allocation request could not be satisfied."""
+
+
+class FaultError(MPCError):
+    """Base class for injected-fault failures (see :mod:`repro.mpc.faults`).
+
+    Carries the identifying coordinates of the fault so harnesses can
+    assert *which* failure fired: ``kind`` (``crash``/``drop``/
+    ``duplicate``/``straggler``), ``round`` and global ``server`` id.
+    """
+
+    def __init__(self, message: str, *, kind: str = "", round_index: int = -1,
+                 server: int = -1) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.round = round_index
+        self.server = server
+
+
+class UnrecoverableFaultError(FaultError):
+    """An injected fault the recovery policy cannot repair.
+
+    Raised from inside the faulted cluster operation, naming the failing
+    round — the run is torn down loudly instead of silently producing a
+    wrong answer.
+    """

@@ -16,6 +16,12 @@ a round-range heuristic would let one branch's rounds pollute another's
 phase.  An optional :class:`~repro.obs.events.Tracer` can be attached to
 stream structured events; with none attached (the default), recording cost
 is unchanged.
+
+Fault recovery (:mod:`repro.mpc.faults`) charges its retries, replays and
+checkpoint restores through :meth:`LoadTracker.record_recovery_receive` /
+:meth:`LoadTracker.add_recovery_rounds` into *separate* cells — the
+``recovery`` tag of :class:`CostReport` — so the base ``L`` under an
+injected-fault run equals the fault-free ``L`` by construction.
 """
 
 from __future__ import annotations
@@ -42,6 +48,12 @@ class CostReport:
     elementary_products: int
     #: Per-phase (label, max_load) breakdown in execution order.
     phases: Tuple[Tuple[str, int], ...] = ()
+    #: Recovery overhead (fault injection, :mod:`repro.mpc.faults`): metered
+    #: in separate cells under the ``recovery`` tag, never mixed into the
+    #: base ``max_load``/``total_communication``/``rounds`` above.
+    recovery_load: int = 0
+    recovery_communication: int = 0
+    recovery_rounds: int = 0
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -52,8 +64,12 @@ class CostReport:
     # -- machine-readable export -----------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-serializable dict (inverse of :meth:`from_dict`)."""
-        return {
+        """JSON-serializable dict (inverse of :meth:`from_dict`).
+
+        Recovery fields appear only when a fault actually charged them, so
+        fault-free exports stay byte-identical to pre-fault-injection runs.
+        """
+        record = {
             "max_load": self.max_load,
             "total_communication": self.total_communication,
             "rounds": self.rounds,
@@ -61,6 +77,11 @@ class CostReport:
             "elementary_products": self.elementary_products,
             "phases": [[label, load] for label, load in self.phases],
         }
+        if self.recovery_load or self.recovery_communication or self.recovery_rounds:
+            record["recovery_load"] = self.recovery_load
+            record["recovery_communication"] = self.recovery_communication
+            record["recovery_rounds"] = self.recovery_rounds
+        return record
 
     @classmethod
     def from_dict(cls, record: Dict[str, Any]) -> "CostReport":
@@ -74,6 +95,9 @@ class CostReport:
             phases=tuple(
                 (str(label), int(load)) for label, load in record.get("phases", ())
             ),
+            recovery_load=int(record.get("recovery_load", 0)),
+            recovery_communication=int(record.get("recovery_communication", 0)),
+            recovery_rounds=int(record.get("recovery_rounds", 0)),
         )
 
 
@@ -97,6 +121,10 @@ class LoadTracker:
         self._phase_stack: List[_PhaseFrame] = []
         self._phases: List[Tuple[str, int]] = []
         self._max_round = -1
+        # Recovery ("chaos") overhead lives in its own cells so injected
+        # faults can never perturb the base load meters.
+        self._recovery_loads: Dict[int, Dict[int, int]] = {}
+        self._recovery_rounds = 0
         #: Optional :class:`repro.obs.events.Tracer`; the cluster emits
         #: structured events through it when present (duck-typed so the mpc
         #: layer has no import dependency on :mod:`repro.obs`).
@@ -127,6 +155,28 @@ class LoadTracker:
         """Record that a round happened even if some servers received nothing."""
         if round_index > self._max_round:
             self._max_round = round_index
+
+    def record_recovery_receive(self, round_index: int, server: int, count: int) -> None:
+        """Charge ``count`` recovery items (retries, replays, checkpoint
+        restores) to ``server`` around ``round_index``.
+
+        Recovery charges land in a separate cell map: the base ``max_load``
+        (the paper's ``L``) is provably untouched by injected faults, and the
+        overhead is reported under the distinct ``recovery`` tag of
+        :class:`CostReport`.
+        """
+        if count < 0:
+            raise ValueError("negative recovery count")
+        if count == 0:
+            return
+        row = self._recovery_loads.setdefault(round_index, {})
+        row[server] = row.get(server, 0) + count
+
+    def add_recovery_rounds(self, count: int) -> None:
+        """Count ``count`` extra rounds spent on fault recovery/stalls."""
+        if count < 0:
+            raise ValueError("negative recovery round count")
+        self._recovery_rounds += count
 
     def record_control(self, count: int) -> None:
         self._control += count
@@ -183,6 +233,23 @@ class LoadTracker:
     def elementary_products(self) -> int:
         return self._products
 
+    @property
+    def recovery_load(self) -> int:
+        """Max per-(round, server) recovery charge (the ``recovery`` tag)."""
+        best = 0
+        for row in self._recovery_loads.values():
+            if row:
+                best = max(best, max(row.values()))
+        return best
+
+    @property
+    def recovery_communication(self) -> int:
+        return sum(sum(row.values()) for row in self._recovery_loads.values())
+
+    @property
+    def recovery_rounds(self) -> int:
+        return self._recovery_rounds
+
     def per_round_loads(self) -> List[int]:
         """Max per-server load of each round, in round order."""
         return [
@@ -202,6 +269,9 @@ class LoadTracker:
             control_messages=self._control,
             elementary_products=self._products,
             phases=tuple(self._phases),
+            recovery_load=self.recovery_load,
+            recovery_communication=self.recovery_communication,
+            recovery_rounds=self._recovery_rounds,
         )
 
 

@@ -17,6 +17,7 @@ See docs/observability.md for the event schema and a reading guide.
 
 from .events import (
     CallbackSink,
+    FAULT_OPS,
     JsonlSink,
     LOAD_OPS,
     RingBufferSink,
@@ -54,6 +55,7 @@ __all__ = [
     "JsonlSink",
     "CallbackSink",
     "LOAD_OPS",
+    "FAULT_OPS",
     "event_to_dict",
     "event_from_dict",
     "SkewStats",

@@ -31,10 +31,19 @@ __all__ = [
     "event_to_dict",
     "event_from_dict",
     "LOAD_OPS",
+    "FAULT_OPS",
 ]
 
 #: Operations whose ``received`` counts are charged against the load meter.
 LOAD_OPS = frozenset({"exchange", "broadcast", "gather", "transfer"})
+
+#: Fault-injection lifecycle events (:mod:`repro.mpc.faults`): ``fault``
+#: marks an injected failure firing, ``recovery`` its repair (retry /
+#: replay / stall — the charged overhead rides in ``detail``), and
+#: ``checkpoint`` the per-round state snapshot.  None of them carry
+#: load-bearing ``received`` counts, so trace aggregation of the base ``L``
+#: is unaffected by chaos runs.
+FAULT_OPS = frozenset({"fault", "recovery", "checkpoint"})
 
 
 @dataclass(frozen=True)

@@ -17,6 +17,7 @@ import random
 import pytest
 
 from repro.conformance import (
+    DEFAULT_INVARIANTS,
     INVARIANTS,
     PROFILES,
     QUERY_FAMILIES,
@@ -210,7 +211,10 @@ def test_default_run_covers_the_acceptance_grid():
     assert {"counting", "provenance", "opaque"} <= set(
         summary.coverage["semiring"]
     )
-    assert set(summary.coverage["invariant"]) == set(INVARIANTS)
+    # The default catalog, exactly: opt-in registrations (the chaos tier)
+    # must not leak into default campaigns.
+    assert set(summary.coverage["invariant"]) == set(DEFAULT_INVARIANTS)
+    assert set(DEFAULT_INVARIANTS) | {"chaos"} == set(INVARIANTS)
 
 
 def test_seconds_budget_checks_at_least_one_case():

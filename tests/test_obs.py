@@ -339,3 +339,41 @@ def test_tracker_phase_path():
         with tracker.phase("inner"):
             assert tracker.phase_path() == ("outer", "inner")
     assert tracker.phase_path() == ()
+
+
+# -- determinism under fault injection -----------------------------------------
+
+
+def _faulted_trace(path, instance, schedule):
+    from repro.mpc import FaultInjector, MPCCluster, RecoveryPolicy
+
+    with Tracer([JsonlSink(str(path))]) as tracer:
+        injector = FaultInjector(schedule, RecoveryPolicy(spares=len(schedule)))
+        cluster = MPCCluster(4, tracer=tracer, faults=injector)
+        result = run_query(instance, cluster=cluster, algorithm="matmul")
+    return result.report
+
+
+def test_same_seed_same_schedule_byte_identical_trace(tmp_path):
+    """Same seed + same FaultSchedule ⇒ byte-identical JSONL trace and an
+    identical CostReport across two fresh clusters."""
+    from repro.mpc import FaultSchedule, MPCCluster
+
+    instance = planted_out_matmul(n=80, out=320, seed=9)
+    probe = MPCCluster(4)
+    run_query(instance, cluster=probe, algorithm="matmul")
+    cells = sorted(
+        (r, s)
+        for r, row in probe.tracker.load_cells().items()
+        for s, count in row.items() if count > 0
+    )
+    schedule = FaultSchedule.random(seed=23, cells=cells, count=3)
+    assert len(schedule) == 3
+
+    first = _faulted_trace(tmp_path / "a.jsonl", instance, schedule)
+    second = _faulted_trace(tmp_path / "b.jsonl", instance, schedule)
+    assert (tmp_path / "a.jsonl").read_bytes() == (tmp_path / "b.jsonl").read_bytes()
+    assert first == second
+    # The trace actually contains the fault tier, not just base events.
+    ops = {event.op for event in read_trace(str(tmp_path / "a.jsonl"))}
+    assert "checkpoint" in ops and "fault" in ops

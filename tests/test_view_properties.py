@@ -1,0 +1,90 @@
+"""Property tests for ClusterView sub-allocation (subview / split).
+
+The paper's "allocate p_i servers to subquery i" steps rely on three
+structural guarantees: ``split`` yields *disjoint* sub-views that exactly
+cover the parent, sub-views inherit the parent's round cursor (so branch
+rounds line up with the synchronous schedule), and impossible allocations
+(empty requests, indices outside the view) fail with ``AllocationError``
+instead of silently mis-mapping servers.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.mpc import AllocationError, MPCCluster
+
+SETTINGS = settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@SETTINGS
+@given(p=st.integers(min_value=1, max_value=24),
+       groups=st.integers(min_value=1, max_value=32))
+def test_split_is_a_disjoint_cover_of_the_parent(p, groups):
+    view = MPCCluster(p).view()
+    parts = view.split(groups)
+    assert 1 <= len(parts) <= min(groups, p)
+    seen = [server for part in parts for server in part.servers]
+    # Disjoint, complete, and in parent order (contiguous blocks).
+    assert seen == list(view.servers)
+    assert all(part.p >= 1 for part in parts)
+
+
+@SETTINGS
+@given(p=st.integers(min_value=1, max_value=24),
+       groups=st.integers(min_value=1, max_value=32),
+       rounds=st.integers(min_value=0, max_value=9))
+def test_subviews_inherit_the_round_cursor(p, groups, rounds):
+    view = MPCCluster(p).view()
+    view.round = rounds
+    for part in view.split(groups):
+        assert part.round == rounds
+        assert part.cluster is view.cluster
+
+
+@SETTINGS
+@given(p=st.integers(min_value=1, max_value=16), data=st.data())
+def test_subview_maps_local_indices_onto_parent_servers(p, data):
+    view = MPCCluster(p).view()
+    indices = data.draw(
+        st.lists(st.integers(min_value=0, max_value=p - 1),
+                 min_size=1, max_size=p)
+    )
+    sub = view.subview(indices)
+    assert sub.servers == tuple(view.servers[i] for i in indices)
+    # Nested subviews compose: local index 0 of the child is the child's
+    # first server, whatever the parent numbering was.
+    nested = sub.subview([0])
+    assert nested.servers == (sub.servers[0],)
+
+
+@SETTINGS
+@given(p=st.integers(min_value=1, max_value=16))
+def test_empty_subview_request_raises(p):
+    view = MPCCluster(p).view()
+    with pytest.raises(AllocationError):
+        view.subview([])
+
+
+@SETTINGS
+@given(p=st.integers(min_value=1, max_value=16), data=st.data())
+def test_out_of_range_subview_request_raises(p, data):
+    view = MPCCluster(p).view()
+    bad = data.draw(
+        st.integers(min_value=-3, max_value=p + 3).filter(
+            lambda i: not 0 <= i < p
+        )
+    )
+    with pytest.raises(AllocationError):
+        view.subview([0] * (p > 0) + [bad])
+
+
+def test_run_parallel_rejects_mismatched_sizes():
+    view = MPCCluster(4).view()
+    with pytest.raises(AllocationError):
+        view.run_parallel([lambda v: None], sizes=[1, 2])
