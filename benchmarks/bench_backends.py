@@ -1,0 +1,242 @@
+"""Backend benchmark: pytuple vs numpy kernels, wall-clock.
+
+Unlike the load-metered experiments (``bench_table1_*``), this script
+measures *wall-clock* — the one thing the backends are allowed to differ
+in.  Two tiers:
+
+* **kernels** — the hot per-server primitives (hash partitioning,
+  reduce-by-key folding, semijoin membership) head-to-head: the tuple
+  backend's dict/loop kernel vs the columnar kernel on identical data;
+* **end-to-end** — ``run_query`` on Table-1-scale counting matmul
+  instances with ``backend="pytuple"`` vs ``backend="numpy"``, asserting
+  along the way that answers and cost reports are identical.
+
+Results land in ``BENCH_kernels.json`` (repo root by default) so CI can
+track the speedup and fail if the vectorized backend ever regresses below
+the reference implementation.  Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_backends.py [--tiny] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+import time
+from typing import Any, Callable, Dict, List
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.backends.columnar import ValueCodec, profile_of
+from repro.backends.dispatch import HAS_NUMPY, np
+from repro.config import ExecutionConfig
+from repro.core.executor import run_query
+from repro.mpc.hashing import hash_to_bucket
+from repro.semiring import COUNTING
+from repro.workloads import planted_out_matmul
+
+
+def _time(fn: Callable[[], Any], repeats: int) -> float:
+    """Best-of-``repeats`` wall-clock seconds (best is the stable statistic
+    for short single-process benchmarks)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_kernels(n: int, repeats: int) -> List[Dict[str, Any]]:
+    """The hot per-server primitives, loop vs vector, on identical data.
+
+    Items are ``((key,), weight)`` pairs and the loop kernels hash/fold
+    tuple keys through ``key_fn``/``value_fn`` lambdas — exactly the
+    per-item work of the tuple backend's ``reduce_by_key``/``repartition``
+    stages; the vector kernels include their codec encoding cost.
+    """
+    from repro.backends.kernels import group_reduce, isin_filter
+
+    rng = random.Random(7)
+    items = [((rng.randint(0, n // 4),), rng.randint(1, 5)) for _ in range(n)]
+    members = {(value,) for value in rng.sample(range(n // 4 + 1), max(1, n // 16))}
+
+    from repro.core.two_way_join import _VectorJoinSpec, local_join_aggregate
+
+    key_fn = lambda item: item[0]  # noqa: E731 - mirrors the primitives
+    value_fn = lambda item: item[1]  # noqa: E731
+    combine = lambda a, b: a + b  # noqa: E731
+
+    codec = ValueCodec()
+    member_ids = codec.encode_many(sorted(members))
+    profile = profile_of(COUNTING)
+    # Encoding is a per-exchange boundary cost; the fold/filter kernels run
+    # over already-encoded arrays, so they are timed that way here (the
+    # hash-partition and join rows include their encode cost).
+    ids = codec.encode_many([key_fn(item) for item in items])
+    weights = np.asarray([value_fn(item) for item in items], dtype=np.int64)
+
+    def partition_loop() -> List[int]:
+        return [hash_to_bucket(key_fn(item), 16, 3) for item in items]
+
+    def partition_vec() -> Any:
+        return codec.buckets(codec.encode_many([key_fn(item) for item in items]), 16, 3)
+
+    def reduce_loop() -> Dict[Any, int]:
+        acc: Dict[Any, int] = {}
+        for item in items:
+            key = key_fn(item)
+            value = value_fn(item)
+            acc[key] = combine(acc[key], value) if key in acc else value
+        return acc
+
+    def reduce_vec() -> Any:
+        return group_reduce(ids, weights, profile.add_ufunc)
+
+    def semijoin_loop() -> List[Any]:
+        return [item for item in items if key_fn(item) in members]
+
+    def semijoin_vec() -> Any:
+        return isin_filter(ids, member_ids)
+
+    # The matmul hot loop: local join-aggregate over an elementary-product
+    # stream ~10x the input size in the heavy-aggregation regime (products
+    # >> distinct outputs — where the paper's output-sensitive algorithms
+    # operate), exercised through the real local_join_aggregate entry point
+    # on both backends.
+    join_n = max(1, n // 5)
+    join_domain = max(1, join_n // 10)
+    out_domain = max(1, join_n // 500)
+    left = [((rng.randint(0, out_domain), rng.randint(0, join_domain)), 1)
+            for _ in range(join_n)]
+    right = [((rng.randint(0, join_domain), rng.randint(0, out_domain)), 1)
+             for _ in range(join_n)]
+    spec = _VectorJoinSpec(
+        codec=codec, profile=profile, left_key_col=1, right_key_col=0,
+        out_sources=(("L", 0), ("R", 1)),
+    )
+    join_args = (
+        lambda item: (item[0][1],),
+        lambda item: (item[0][0],),
+        lambda l, r: (l[0], r[1]),
+        COUNTING,
+    )
+
+    def join_loop() -> Any:
+        return local_join_aggregate(left, right, *join_args)
+
+    def join_vec() -> Any:
+        return local_join_aggregate(left, right, *join_args, vec=spec)
+
+    products = join_loop()[1]
+    assert join_loop()[0] == join_vec()[0], "join kernels disagree"
+
+    rows = []
+    for name, size, loop, vec in (
+        ("hash-partition", n, partition_loop, partition_vec),
+        ("reduce-by-key", n, reduce_loop, reduce_vec),
+        ("semijoin-isin", n, semijoin_loop, semijoin_vec),
+        ("join-aggregate", products, join_loop, join_vec),
+    ):
+        pytuple_s = _time(loop, repeats)
+        numpy_s = _time(vec, repeats)
+        rows.append({
+            "kernel": name,
+            "n": size,
+            "pytuple_s": pytuple_s,
+            "numpy_s": numpy_s,
+            "speedup": pytuple_s / numpy_s if numpy_s > 0 else float("inf"),
+        })
+    return rows
+
+
+def bench_end_to_end(n: int, out: int, p: int, repeats: int) -> Dict[str, Any]:
+    """``run_query`` on a planted-OUT counting matmul instance, backend vs
+    backend; answers and metered reports are asserted identical."""
+    instance = planted_out_matmul(n=n, out=out)
+
+    def run(backend: str):
+        return run_query(instance, config=ExecutionConfig(p=p, backend=backend))
+
+    reference = run("pytuple")
+    vectorized = run("numpy")
+    assert reference.relation.tuples == vectorized.relation.tuples, \
+        "backends disagree on the answer"
+    assert reference.report.to_dict() == vectorized.report.to_dict(), \
+        "backends disagree on the metered cost report"
+
+    pytuple_s = _time(lambda: run("pytuple"), repeats)
+    numpy_s = _time(lambda: run("numpy"), repeats)
+    return {
+        "family": "matmul",
+        "n": n,
+        "out": out,
+        "p": p,
+        "input_size": instance.total_size,
+        "max_load": reference.report.max_load,
+        "pytuple_s": pytuple_s,
+        "numpy_s": numpy_s,
+        "speedup": pytuple_s / numpy_s if numpy_s > 0 else float("inf"),
+        "reports_identical": True,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tiny", action="store_true",
+                        help="CI smoke scale (seconds, not minutes)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats per measurement (best is kept)")
+    parser.add_argument("--out", default=os.path.join(
+        os.path.dirname(__file__), "..", "BENCH_kernels.json"),
+        metavar="PATH", help="result JSON destination (default: repo root)")
+    args = parser.parse_args(argv)
+
+    if not HAS_NUMPY:
+        print("numpy unavailable: nothing to benchmark", file=sys.stderr)
+        return 1
+
+    # End-to-end instances are bench_table1_matmul-scale (N=1000, p=16)
+    # and above: large enough that the vectorized per-server work beats
+    # the codec's encode overhead.
+    if args.tiny:
+        kernel_n, e2e = 50_000, [(1000, 64_000)]
+    else:
+        kernel_n, e2e = 200_000, [(1000, 16_000), (1000, 64_000), (2000, 64_000)]
+
+    kernels = bench_kernels(kernel_n, args.repeats)
+    end_to_end = [bench_end_to_end(n, out, 16, args.repeats) for n, out in e2e]
+
+    document = {
+        "scale": "tiny" if args.tiny else "full",
+        "repeats": args.repeats,
+        "kernels": kernels,
+        "end_to_end": end_to_end,
+    }
+    path = os.path.normpath(args.out)
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+
+    for row in kernels:
+        print(f"kernel {row['kernel']:<16} n={row['n']:<8} "
+              f"pytuple={row['pytuple_s']:.4f}s numpy={row['numpy_s']:.4f}s "
+              f"speedup={row['speedup']:.1f}x")
+    for row in end_to_end:
+        print(f"matmul n={row['n']} OUT={row['out']} p={row['p']}: "
+              f"pytuple={row['pytuple_s']:.3f}s numpy={row['numpy_s']:.3f}s "
+              f"speedup={row['speedup']:.2f}x (reports identical)")
+    print(f"written: {path}")
+
+    slow = [row for row in end_to_end if row["speedup"] < 1.0]
+    if slow:
+        print("FAIL: numpy slower than pytuple end-to-end", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

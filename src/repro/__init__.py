@@ -22,6 +22,7 @@ Quickstart::
     print(result.relation, result.report)
 """
 
+from .config import ExecutionConfig
 from .core import (
     QueryResult,
     line_query,
@@ -47,6 +48,7 @@ __version__ = "1.0.0"
 __all__ = [
     "run_query",
     "QueryResult",
+    "ExecutionConfig",
     "sparse_matmul",
     "line_query",
     "star_query",

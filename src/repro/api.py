@@ -1,0 +1,258 @@
+"""The library facade: every CLI capability as a plain function.
+
+``python -m repro`` is a thin argparse shell over this module — anything
+the command line can do, a notebook or test harness can do by importing
+:mod:`repro.api`:
+
+* :func:`run_query` — evaluate one instance under an
+  :class:`~repro.config.ExecutionConfig` (accepts the historical loose
+  keyword arguments with a ``DeprecationWarning``);
+* :func:`compare` — distributed Yannakakis baseline vs the paper's
+  algorithm on one instance, both cost reports packaged together;
+* :func:`sweep` — :func:`compare` across a labelled series of instances;
+* :func:`table1` — the paper's Table 1 on adversarial workload families
+  (moved here from :mod:`repro.reporting`, which keeps a deprecated
+  forwarder);
+* :func:`fuzz` — a conformance fuzzing campaign
+  (:mod:`repro.conformance`);
+* :func:`chaos` — the fault-injection tier of the same campaign runner.
+
+Every function takes a config object (:class:`ExecutionConfig` for the
+executor-shaped entry points, :class:`~repro.conformance.FuzzConfig` for
+the campaigns) and returns structured data — no printing, no process exit
+codes.  Results, cost reports, and traces are backend-independent: an
+``ExecutionConfig(backend="numpy")`` run is bit-identical to the default
+``"pytuple"`` one, only faster.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .config import ExecutionConfig
+from .core.executor import QueryResult
+from .core.executor import run_query as _executor_run_query
+from .data.query import Instance
+
+__all__ = [
+    "ExecutionConfig",
+    "CompareResult",
+    "TABLE1_FAMILIES",
+    "run_query",
+    "compare",
+    "sweep",
+    "table1",
+    "fuzz",
+    "chaos",
+]
+
+#: The loose ``run_query`` keywords that predate :class:`ExecutionConfig`.
+_LOOSE_KWARGS = (
+    "p",
+    "algorithm",
+    "backend",
+    "seed",
+    "tracer",
+    "fault_schedule",
+    "validate",
+)
+
+
+def run_query(
+    instance: Instance,
+    config: Optional[ExecutionConfig] = None,
+    **loose: Any,
+) -> QueryResult:
+    """Evaluate ``instance``; the facade twin of
+    :func:`repro.core.executor.run_query`.
+
+    All knobs travel in ``config``.  The historical loose keyword arguments
+    (``p=…``, ``tracer=…``, ``fault_schedule=…``, ``seed=…``, …) are still
+    accepted — they override the corresponding ``config`` fields — but emit
+    a ``DeprecationWarning``; new code should construct an
+    :class:`ExecutionConfig` once and reuse it.
+    """
+    unknown = set(loose) - set(_LOOSE_KWARGS)
+    if unknown:
+        raise TypeError(f"run_query() got unexpected keyword(s) {sorted(unknown)}")
+    config = config or ExecutionConfig()
+    if loose:
+        warnings.warn(
+            "loose execution keywords (p=, tracer=, fault_schedule=, seed=, …) "
+            "are deprecated; pass an ExecutionConfig instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        config = replace(config, **loose)
+    return _executor_run_query(instance, config=config)
+
+
+@dataclass(frozen=True)
+class CompareResult:
+    """Baseline vs paper algorithm on one instance, fully measured."""
+
+    #: The distributed Yannakakis run (Table 1's first column).
+    baseline: QueryResult
+    #: The paper algorithm's run (``algorithm="auto"``).
+    ours: QueryResult
+
+    @property
+    def speedup(self) -> float:
+        """Baseline load over paper-algorithm load (> 1 ⇒ the paper wins)."""
+        return self.baseline.report.max_load / max(1, self.ours.report.max_load)
+
+    def row(self, label: str) -> "ComparisonRow":
+        """Package as a :class:`repro.reporting.ComparisonRow`."""
+        from .reporting import ComparisonRow
+
+        return ComparisonRow(
+            label=label,
+            query_class=self.ours.query_class,
+            input_size=self._input_size,
+            out_size=self.ours.out_size,
+            baseline_load=self.baseline.report.max_load,
+            new_load=self.ours.report.max_load,
+            baseline_comm=self.baseline.report.total_communication,
+            new_comm=self.ours.report.total_communication,
+            rounds=self.ours.report.rounds,
+        )
+
+    # Stashed by compare() — the instance itself is not retained.
+    _input_size: int = 0
+
+
+def compare(
+    instance: Instance,
+    config: Optional[ExecutionConfig] = None,
+    scope: Optional[str] = None,
+) -> CompareResult:
+    """Run the baseline and the paper algorithm on ``instance``.
+
+    Raises ``AssertionError`` if the two disagree (they never should; this
+    keeps report data trustworthy by construction).  Only the paper
+    algorithm's run is traced when ``config.tracer`` is set — ``scope``
+    names it in the event stream, so several instances can share one sink.
+    """
+    config = config or ExecutionConfig()
+    baseline = _executor_run_query(
+        instance, config=replace(config, tracer=None, algorithm="yannakakis")
+    )
+    if config.tracer is not None and scope is not None:
+        config.tracer.scope = scope
+    ours = _executor_run_query(instance, config=replace(config, algorithm="auto"))
+    if baseline.relation.tuples != ours.relation.tuples:
+        raise AssertionError(
+            f"algorithms disagree on {scope or instance.query.classify()!r}"
+        )
+    return CompareResult(
+        baseline=baseline, ours=ours, _input_size=instance.total_size
+    )
+
+
+def sweep(
+    instances: Iterable[Tuple[str, Instance]],
+    config: Optional[ExecutionConfig] = None,
+) -> List[Tuple[str, CompareResult]]:
+    """:func:`compare` across a labelled series of instances.
+
+    ``instances`` yields ``(label, instance)`` pairs; each label becomes
+    the tracer scope for its point, and the comparisons come back in input
+    order paired with their labels.
+    """
+    return [
+        (label, compare(instance, config, scope=label))
+        for label, instance in instances
+    ]
+
+
+#: Table-1 row labels in presentation order.
+TABLE1_FAMILIES = ("matmul", "line", "star", "tree")
+
+
+def table1(
+    scale: int = 300,
+    config: Optional[ExecutionConfig] = None,
+    families: Optional[Sequence[str]] = None,
+) -> List["ComparisonRow"]:
+    """One adversarial instance per Table-1 row, measured.
+
+    ``scale`` is the tuples-per-relation knob; families are the planted/
+    adversarial ones where the baseline's intermediate exceeds OUT (see
+    docs/paper_notes.md on why uniform-random data would show ties).
+    ``config.tracer`` traces every row's paper-algorithm run into one event
+    stream, scoped by the row label; when ``config`` is omitted the
+    historical defaults (``p=16``, no tracing) apply.  ``families`` selects
+    a subset of :data:`TABLE1_FAMILIES` (default all); an empty selection
+    is legal and returns no rows, and an unknown name raises ``ValueError``
+    rather than silently measuring nothing.
+    """
+    from .workloads import (
+        bowtie_line,
+        overlapping_star,
+        planted_out_matmul,
+        twig_instance,
+    )
+
+    config = config or ExecutionConfig(p=16)
+    builders: Sequence[tuple] = (
+        ("matmul", lambda: planted_out_matmul(n=scale, out=min(scale * scale, 64 * scale))),
+        ("line", lambda: bowtie_line(blocks=max(1, scale // 25), fan_out=25, fan_mid=64)),
+        ("star", lambda: overlapping_star(arms=3, centres=32, fan=max(2, scale // 32))),
+        ("tree", lambda: twig_instance(
+            tuples=scale,
+            domain=max(10, scale // 10, int(scale ** 0.5) + 2),
+            seed=1,
+        )),
+    )
+    if families is None:
+        selected = builders
+    else:
+        unknown = sorted(set(families) - set(TABLE1_FAMILIES))
+        if unknown:
+            raise ValueError(
+                f"unknown Table-1 families {unknown}; "
+                f"choose from {', '.join(TABLE1_FAMILIES)}"
+            )
+        wanted = set(families)
+        selected = [entry for entry in builders if entry[0] in wanted]
+    return [
+        compare(builder(), config, scope=label).row(label)
+        for label, builder in selected
+    ]
+
+
+def fuzz(config: Optional["FuzzConfig"] = None, **overrides: Any) -> "FuzzSummary":
+    """Run one conformance fuzzing campaign (differential oracle +
+    metamorphic invariants); deterministic per seed.
+
+    ``config`` is a :class:`repro.conformance.FuzzConfig`; keyword
+    ``overrides`` replace individual fields of it (or of the default
+    config), so ``fuzz(iterations=100, backend="numpy")`` works without
+    constructing one explicitly.  Never raises on invariant failures —
+    they come back shrunk inside the summary.
+    """
+    from .conformance import FuzzConfig, fuzz as _conformance_fuzz
+
+    config = config or FuzzConfig()
+    if overrides:
+        config = replace(config, **overrides)
+    return _conformance_fuzz(config)
+
+
+def chaos(config: Optional["FuzzConfig"] = None, **overrides: Any) -> "FuzzSummary":
+    """The chaos tier on its own: every case re-checked under seeded
+    recoverable fault schedules plus one planted unrecoverable one.
+
+    Same contract as :func:`fuzz` with the invariant set pinned to
+    ``("differential", "chaos")``; tune the tier with the
+    ``chaos_schedules``/``chaos_faults`` fields.
+    """
+    from .conformance import FuzzConfig, fuzz as _conformance_fuzz
+
+    config = config or FuzzConfig(iterations=10)
+    if overrides:
+        config = replace(config, **overrides)
+    config = replace(config, invariants=("differential", "chaos"))
+    return _conformance_fuzz(config)

@@ -1,0 +1,423 @@
+"""Columnar value coding and the numeric semiring profiles.
+
+The columnar backend never ships arrays between servers — communication
+stays item-at-a-time through ``exchange`` so metering is untouched — but
+*within* a server it re-represents tuple batches as arrays:
+
+* a :class:`ValueCodec` (one per cluster) interns every attribute/key value
+  into a dense ``int64`` code, and memoizes the per-salt ``stable_hash`` of
+  each interned value so repartitioning reuses hashes across rounds;
+* an :class:`AnnotationProfile` maps a semiring with numeric ⊕/⊗ onto a
+  dtype plus ufuncs (counting → int64 +/×, boolean → bool ∨/∧, the
+  tropical/max family → float64 or int64 min-max/+/×).  ``profile_of``
+  recognizes the standard semirings **by identity**, so a user-built
+  semiring — whose ⊕/⊗ could be anything — never silently vectorizes;
+* :class:`ColumnarPartition` / :class:`ColumnarRelation` hold one server's
+  (or one logical relation's) tuples as per-attribute code columns plus a
+  dtype-typed annotation array.
+
+Exactness contract: every profile's operations are bit-exact against the
+scalar semiring.  Integer annotations stay in int64 ranges where +, × and
+segment sums cannot overflow (``encodable`` rejects larger values, which
+falls the call back to the tuple kernels); float operations are the same
+IEEE754 double operations CPython performs.  ⊕-reductions are only ever
+vectorized for order-insensitive ⊕ (ints, min, max, or) — the float ``+``
+of the REAL semiring is order-sensitive and has no profile on purpose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..mpc.hashing import encode_key, stable_hash_encoded
+from ..semiring import Semiring
+from ..semiring.standard import (
+    BOOLEAN,
+    COUNTING,
+    MAX_MIN,
+    MAX_TIMES,
+    TROPICAL_MAX_PLUS,
+    TROPICAL_MIN_PLUS,
+)
+from .dispatch import HAS_NUMPY, np
+
+__all__ = [
+    "AnnotationProfile",
+    "ColumnarPartition",
+    "ColumnarRelation",
+    "FLOAT_MAX_PROFILE",
+    "ValueCodec",
+    "encode_annotations",
+    "profile_of",
+]
+
+#: Annotation magnitude cap for integer profiles: with |a| < 2^20 every
+#: pairwise product stays < 2^40 and any realistic segment sum (< 2^23
+#: terms per server) stays far below 2^63.
+_INT_LIMIT = 1 << 20
+#: Floats convert int64 exactly only below 2^53.
+_FLOAT_EXACT = 1 << 53
+
+
+class ValueCodec:
+    """Interns hashable values as dense int64 codes, with per-salt hash caches.
+
+    One codec is shared by a whole cluster (``cluster.codec``): codes are
+    stable for the lifetime of a run, so a value hashed for routing in one
+    round is never re-hashed in a later round under the same salt — the
+    blake2b evaluations that dominate the tuple backend's repartitioning
+    cost are paid once per (value, salt).
+    """
+
+    __slots__ = ("_codes", "_values", "_encoded", "_hash_tables")
+
+    def __init__(self) -> None:
+        self._codes: Dict[Any, int] = {}
+        self._values: List[Any] = []
+        #: code -> canonical hash-input bytes, filled lazily on first hash
+        #: so a value hashed under several salts is byte-encoded only once.
+        self._encoded: Dict[int, bytes] = {}
+        #: salt -> (uint64 hash table, bool "known" mask), aligned to codes.
+        self._hash_tables: Dict[int, Tuple[Any, Any]] = {}
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def encode_many(self, values: Sequence[Any]) -> Any:
+        """Codes of ``values`` as an int64 array, interning new ones."""
+        codes = self._codes
+        try:
+            # Fast path: everything already interned — a C-level map beats
+            # the interning loop ~4x, and re-encoding seen values is the
+            # common case after the first round.
+            return np.fromiter(
+                map(codes.__getitem__, values), dtype=np.int64, count=len(values)
+            )
+        except KeyError:
+            pass
+        store = self._values
+        out = np.empty(len(values), dtype=np.int64)
+        for position, value in enumerate(values):
+            code = codes.get(value)
+            if code is None:
+                code = len(store)
+                codes[value] = code
+                store.append(value)
+            out[position] = code
+        return out
+
+    def value(self, code: int) -> Any:
+        return self._values[code]
+
+    def decode_many(self, ids: Any) -> List[Any]:
+        """The original (interned, identity-preserved) values of ``ids``."""
+        store = self._values
+        return [store[code] for code in ids.tolist()]
+
+    def hashes(self, ids: Any, salt: int) -> Any:
+        """``stable_hash(value, salt)`` of each id, as uint64 (memoized)."""
+        entry = self._hash_tables.get(salt)
+        size = len(self._values)
+        if entry is None or entry[0].shape[0] < size:
+            grown = np.zeros(size, dtype=np.uint64)
+            known = np.zeros(size, dtype=bool)
+            if entry is not None and entry[0].shape[0]:
+                grown[: entry[0].shape[0]] = entry[0]
+                known[: entry[1].shape[0]] = entry[1]
+            entry = (grown, known)
+            self._hash_tables[salt] = entry
+        table, known = entry
+        unknown = ~known[ids]
+        if unknown.any():
+            missing = np.unique(ids[unknown])
+            store = self._values
+            encoded = self._encoded
+            raw: List[bytes] = []
+            for code in missing.tolist():
+                cached = encoded.get(code)
+                if cached is None:
+                    cached = encode_key(store[code])
+                    encoded[code] = cached
+                raw.append(cached)
+            table[missing] = stable_hash_encoded(raw, salt)
+            known[missing] = True
+        return table[ids]
+
+    def buckets(self, ids: Any, buckets: int, salt: int) -> Any:
+        """``hash_to_bucket(value, buckets, salt)`` of each id (int64)."""
+        return (self.hashes(ids, salt) % np.uint64(buckets)).astype(np.int64)
+
+    def units(self, ids: Any, salt: int) -> Any:
+        """``hash_to_unit(value, salt)`` of each id.
+
+        Bit-exact vs. the scalar path: uint64→float64 conversion is the
+        same round-to-nearest as CPython's int→float, and dividing by 2^64
+        is an exact exponent shift.
+        """
+        return self.hashes(ids, salt).astype(np.float64) * 2.0**-64
+
+
+@dataclass(frozen=True)
+class AnnotationProfile:
+    """A semiring whose annotations vectorize: dtype + ⊕ ufunc + ⊗ kernel.
+
+    ``add_ufunc`` must be order-insensitive on the profile's dtypes (sum of
+    bounded ints, min, max, or) so segment reduction may reassociate;
+    ``mul(a, b)`` is elementwise ⊗; ``encodable`` is the per-value guard
+    deciding whether one annotation fits the dtype exactly.
+    """
+
+    name: str
+    add_name: str  # "add" | "or" | "min" | "max"
+    mul_name: str  # "mul" | "and" | "add" | "min"
+    kind: str  # "int" | "bool" | "number"
+
+    @property
+    def add_ufunc(self):
+        return _UFUNCS[self.add_name]
+
+    def mul(self, a, b):
+        return _UFUNCS[self.mul_name](a, b)
+
+    def encodable(self, value: Any, int_limit: int = _INT_LIMIT) -> bool:
+        if self.kind == "bool":
+            return isinstance(value, bool)
+        if self.kind == "int":
+            return type(value) is int and -int_limit < value < int_limit
+        # "number": int (exactly representable) or any non-NaN float (NaN
+        # makes min/max order-sensitive, so it may never vectorize).
+        if isinstance(value, bool):
+            return False
+        if isinstance(value, float):
+            return value == value
+        return type(value) is int and -_FLOAT_EXACT < value < _FLOAT_EXACT
+
+
+if HAS_NUMPY:
+    _UFUNCS = {
+        "add": np.add,
+        "or": np.logical_or,
+        "min": np.minimum,
+        "max": np.maximum,
+        "mul": np.multiply,
+        "and": np.logical_and,
+    }
+else:  # pragma: no cover - profile lookups are gated on HAS_NUMPY
+    _UFUNCS = {}
+
+_PROFILE_BY_SEMIRING: Dict[int, AnnotationProfile] = {}
+if HAS_NUMPY:
+    for _semiring, _profile in (
+        (COUNTING, AnnotationProfile("counting", "add", "mul", "int")),
+        (BOOLEAN, AnnotationProfile("boolean", "or", "and", "bool")),
+        (TROPICAL_MIN_PLUS, AnnotationProfile("tropical-min-plus", "min", "add", "number")),
+        (TROPICAL_MAX_PLUS, AnnotationProfile("tropical-max-plus", "max", "add", "number")),
+        (MAX_MIN, AnnotationProfile("max-min", "max", "min", "number")),
+        (MAX_TIMES, AnnotationProfile("max-times", "max", "mul", "number")),
+    ):
+        _PROFILE_BY_SEMIRING[id(_semiring)] = _profile
+
+
+#: Profile for plain numeric max-folds outside any semiring (KMV estimate
+#: tables); ⊕ = max is order-insensitive and exact on int64/float64.
+FLOAT_MAX_PROFILE = AnnotationProfile("float-max", "max", "min", "number")
+
+
+def profile_of(semiring: Semiring) -> Optional[AnnotationProfile]:
+    """The vectorization profile of ``semiring``, or None.
+
+    Recognition is by object identity against the standard singletons:
+    structurally similar user semirings may carry arbitrary ⊕/⊗ callables,
+    and REAL's float ⊕ is order-sensitive — both must stay on the tuple
+    kernels.
+    """
+    return _PROFILE_BY_SEMIRING.get(id(semiring))
+
+
+def encode_annotations(
+    annotations: Sequence[Any],
+    profile: AnnotationProfile,
+    int_limit: int = _INT_LIMIT,
+):
+    """Annotations as a typed array, or None when any value does not fit.
+
+    Semantically ``profile.encodable`` per value, but batched: the type
+    sweep runs at C level (``map(type, ...)``) and the range/NaN guards run
+    on the array, which matters because this sits on the per-batch hot path
+    of every vectorized fold.
+    """
+    types = set(map(type, annotations))
+    if profile.kind == "bool":
+        return np.asarray(annotations, dtype=bool) if types <= {bool} else None
+    if profile.kind == "int":
+        if not types <= {int}:  # rejects bool (type(True) is bool) and floats
+            return None
+        if not types:
+            return np.asarray(annotations, dtype=np.int64)
+        try:
+            array = np.fromiter(annotations, dtype=np.int64, count=len(annotations))
+        except OverflowError:  # beyond int64 is certainly beyond int_limit
+            return None
+        if int(array.min()) <= -int_limit or int(array.max()) >= int_limit:
+            return None
+        return array
+    # "number": int64 when all ints, float64 when all floats.  A *mixed*
+    # batch must not vectorize: min/max over float64 would return a float
+    # where the scalar semiring returns the original int object.  NaN makes
+    # min/max order-sensitive, so any NaN also falls back.
+    if types == {int}:
+        try:
+            array = np.fromiter(annotations, dtype=np.int64, count=len(annotations))
+        except OverflowError:
+            return None
+        if int(array.min()) <= -_FLOAT_EXACT or int(array.max()) >= _FLOAT_EXACT:
+            return None
+        return array
+    if types == {float}:
+        array = np.fromiter(annotations, dtype=np.float64, count=len(annotations))
+        return None if np.isnan(array).any() else array
+    if not types:
+        return np.asarray(annotations, dtype=np.int64)
+    return None
+
+
+def decode_annotations(array: Any) -> List[Any]:
+    """Back to Python scalars (int/bool/float) for the wire format."""
+    return array.tolist()
+
+
+class ColumnarPartition:
+    """One server's annotated tuples in columnar form.
+
+    ``columns[j]`` holds the codec codes of attribute ``j`` for every local
+    tuple; ``annotations`` is the profile-typed array.  ``to_items`` decodes
+    back to the ``(values, annotation)`` wire format in row order.
+    """
+
+    __slots__ = ("columns", "annotations", "size")
+
+    def __init__(self, columns: Tuple[Any, ...], annotations: Any, size: int) -> None:
+        self.columns = columns
+        self.annotations = annotations
+        self.size = size
+
+    @classmethod
+    def from_items(
+        cls,
+        items: Sequence[Tuple[Tuple[Any, ...], Any]],
+        width: int,
+        codec: ValueCodec,
+        profile: AnnotationProfile,
+    ) -> Optional["ColumnarPartition"]:
+        """Encode ``(values, annotation)`` items; None when annotations do
+        not fit the profile (the caller falls back to tuple kernels)."""
+        annotations = encode_annotations([item[1] for item in items], profile)
+        if annotations is None:
+            return None
+        columns = tuple(
+            codec.encode_many([item[0][j] for item in items]) for j in range(width)
+        )
+        return cls(columns, annotations, len(items))
+
+    def to_items(self, codec: ValueCodec) -> List[Tuple[Tuple[Any, ...], Any]]:
+        decoded = [codec.decode_many(column) for column in self.columns]
+        annotations = decode_annotations(self.annotations)
+        return [
+            (tuple(column[i] for column in decoded), annotations[i])
+            for i in range(self.size)
+        ]
+
+
+class ColumnarRelation:
+    """A logical :class:`~repro.data.relation.Relation` in columnar form.
+
+    The distributed kernels work on :class:`ColumnarPartition` batches
+    directly; this wrapper is the whole-relation variant used by local
+    transformations, the benchmarks, and tests.  Round-trips exactly:
+    ``from_relation(r).to_relation()`` preserves tuple order, value
+    identity, and annotations.
+    """
+
+    __slots__ = ("schema", "partition", "codec", "profile", "semiring")
+
+    def __init__(
+        self,
+        schema: Tuple[str, ...],
+        partition: ColumnarPartition,
+        codec: ValueCodec,
+        profile: AnnotationProfile,
+        semiring: Semiring,
+    ) -> None:
+        self.schema = schema
+        self.partition = partition
+        self.codec = codec
+        self.profile = profile
+        self.semiring = semiring
+
+    @classmethod
+    def from_relation(
+        cls,
+        relation,
+        semiring: Semiring,
+        codec: Optional[ValueCodec] = None,
+    ) -> Optional["ColumnarRelation"]:
+        """None when the semiring has no profile or annotations do not fit."""
+        if not HAS_NUMPY:
+            return None
+        profile = profile_of(semiring)
+        if profile is None:
+            return None
+        codec = codec or ValueCodec()
+        partition = ColumnarPartition.from_items(
+            list(relation), len(relation.schema), codec, profile
+        )
+        if partition is None:
+            return None
+        return cls(tuple(relation.schema), partition, codec, profile, semiring)
+
+    @property
+    def size(self) -> int:
+        return self.partition.size
+
+    def to_relation(self, name: str = "columnar"):
+        from ..data.relation import Relation
+
+        return Relation(
+            name, self.schema, self.partition.to_items(self.codec), self.semiring
+        )
+
+    def column_codes(self, attribute: str):
+        return self.partition.columns[self.schema.index(attribute)]
+
+    def semijoin_codes(self, attribute: str, allowed_codes) -> "ColumnarRelation":
+        """Keep tuples whose ``attribute`` code is in ``allowed_codes``
+        (vectorized semijoin filter; row order preserved)."""
+        mask = np.isin(self.column_codes(attribute), allowed_codes)
+        part = ColumnarPartition(
+            tuple(column[mask] for column in self.partition.columns),
+            self.partition.annotations[mask],
+            int(mask.sum()),
+        )
+        return ColumnarRelation(self.schema, part, self.codec, self.profile, self.semiring)
+
+    def aggregate(self, group_attrs: Sequence[str]) -> "ColumnarRelation":
+        """``Σ_{−group_attrs}`` via sort-and-segment-reduce, groups in
+        first-occurrence order (the dict-fold order of the tuple backend)."""
+        from .kernels import combine_columns, group_reduce, split_codes
+
+        indices = [self.schema.index(a) for a in group_attrs]
+        keys, base = combine_columns(
+            [self.partition.columns[i] for i in indices], len(self.codec),
+            self.partition.size,
+        )
+        if keys is None:
+            raise OverflowError("key space too large to pack into int64")
+        uniq, reduced = group_reduce(
+            keys, self.partition.annotations, self.profile.add_ufunc
+        )
+        columns = tuple(split_codes(uniq, base, len(indices)))
+        part = ColumnarPartition(columns, reduced, int(uniq.shape[0]))
+        return ColumnarRelation(
+            tuple(group_attrs), part, self.codec, self.profile, self.semiring
+        )

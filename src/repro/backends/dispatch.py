@@ -1,0 +1,79 @@
+"""Backend resolution: which kernel implementation a run uses.
+
+``backend`` is a three-valued knob threaded from the public entry points
+(:mod:`repro.api`, :func:`repro.core.executor.run_query`, the CLI) down to
+the cluster:
+
+* ``"pytuple"`` — the reference tuple-at-a-time kernels;
+* ``"numpy"`` — the columnar kernels (raises when numpy is missing);
+* ``"auto"`` — ``numpy`` when numpy is importable and the instance is big
+  enough for vectorization to pay (``AUTO_MIN_TUPLES``), else ``pytuple``.
+
+The resolved name lives on :class:`~repro.mpc.cluster.MPCCluster` as
+``cluster.backend``; primitives consult :func:`numpy_enabled` per view.
+Fault injection always forces the tuple kernels (the injector mutates
+per-server item lists in place), which keeps chaos runs on the reference
+path without any per-primitive special-casing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+try:  # pragma: no cover - exercised implicitly by every import
+    import numpy as np
+
+    HAS_NUMPY = True
+except ImportError:  # pragma: no cover - CI images always ship numpy
+    np = None  # type: ignore[assignment]
+    HAS_NUMPY = False
+
+__all__ = [
+    "AUTO_MIN_TUPLES",
+    "BACKENDS",
+    "HAS_NUMPY",
+    "np",
+    "numpy_enabled",
+    "resolve_backend",
+]
+
+#: The legal ``backend=`` values at every public entry point.
+BACKENDS = ("pytuple", "numpy", "auto")
+
+#: ``auto`` only picks numpy above this total input size: below it the
+#: per-call array setup costs more than the loops it replaces.
+AUTO_MIN_TUPLES = 256
+
+
+def resolve_backend(backend: Optional[str], total_size: Optional[int] = None) -> str:
+    """Map a requested backend (``None`` ⇒ ``pytuple``) to a concrete one."""
+    if backend is None:
+        return "pytuple"
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; choose from {', '.join(BACKENDS)}"
+        )
+    if backend == "numpy" and not HAS_NUMPY:
+        raise RuntimeError("backend='numpy' requested but numpy is not installed")
+    if backend == "auto":
+        if not HAS_NUMPY:
+            return "pytuple"
+        if total_size is not None and total_size < AUTO_MIN_TUPLES:
+            return "pytuple"
+        return "numpy"
+    return backend
+
+
+def numpy_enabled(view) -> bool:
+    """True when primitives on ``view`` should take their vectorized path.
+
+    Requires numpy, a cluster resolved to the numpy backend, and no fault
+    injector (the injector rewrites inboxes item-at-a-time).
+    """
+    if not HAS_NUMPY:
+        return False
+    cluster = view.cluster
+    return (
+        getattr(cluster, "backend", "pytuple") == "numpy"
+        and cluster.faults is None
+    )

@@ -1,0 +1,236 @@
+"""Vectorized per-server kernels with *first-occurrence* output order.
+
+Every kernel here replaces a Python dict/loop kernel of the tuple backend
+and is required to reproduce its output **order**, not just its content:
+downstream primitives tag items with (server, position) tiebreaks whose
+values feed splitter sampling and routing, so any reordering — even of
+equivalent results — would change the metered load.  The dict kernels all
+emit results in key-first-occurrence order (Python dict insertion order),
+which these kernels reconstruct with one stable argsort:
+
+* :func:`group_reduce` — sort-and-segment-reduce equal to a dict ⊕-fold;
+* :func:`first_occurrence_unique` — dedup equal to ``dict.fromkeys``;
+* :func:`hash_join` — the exact elementary-product stream of the nested
+  probe loops (outer side in arrival order, matches in arrival order);
+* :func:`combine_columns` / :func:`split_codes` — pack multi-column keys
+  into one int64 (mixed-radix over the codec size) and back;
+* :func:`select_splitters` — regular-sampling splitter selection;
+* :func:`isin_filter` — the semijoin membership filter.
+
+All inputs are int64 code arrays from a :class:`~.columnar.ValueCodec`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+from .dispatch import np
+
+__all__ = [
+    "combine_columns",
+    "first_occurrence_unique",
+    "group_index",
+    "group_reduce",
+    "hash_join",
+    "isin_filter",
+    "segment_gather",
+    "select_splitters",
+    "split_codes",
+]
+
+#: Packed multi-column keys must stay well inside int64.
+_PACK_LIMIT = 1 << 62
+
+
+def group_reduce(ids: Any, values: Any, add_ufunc: Any) -> Tuple[Any, Any]:
+    """⊕-fold ``values`` per id — the dict-fold kernel, vectorized.
+
+    Returns ``(unique_ids, reduced)`` with unique ids in first-occurrence
+    order, exactly the ``.items()`` order of::
+
+        acc = {}
+        for i, v in zip(ids, values):
+            acc[i] = add(acc[i], v) if i in acc else v
+
+    ``add_ufunc`` must be order-insensitive on the dtype (the profiles
+    guarantee this), because segment reduction reassociates.
+    """
+    n = ids.shape[0]
+    if n == 0:
+        return ids[:0], values[:0]
+    if add_ufunc is np.add and values.dtype == np.int64 and n >= 1024:
+        fast = _group_sum_bincount(ids, values, n)
+        if fast is not None:
+            return fast
+    # Quicksort beats the stable radix argsort ~4x on int64 keys, and the
+    # fold tolerates intra-group permutation whenever ⊕ is bitwise
+    # permutation-insensitive on the dtype — true for the int/bool
+    # profiles.  Float min/max is value-insensitive but can see ±0.0
+    # (equal-comparing, distinct bits), so floats keep the stable sort and
+    # its exact arrival-order fold.
+    stable = values.dtype.kind == "f"
+    order = np.argsort(ids, kind="stable" if stable else None)
+    sorted_ids = ids[order]
+    starts = np.flatnonzero(
+        np.concatenate(([True], sorted_ids[1:] != sorted_ids[:-1]))
+    )
+    reduced = add_ufunc.reduceat(values[order], starts)
+    # First-occurrence position per group: directly under a stable sort,
+    # else the minimum original position within each segment.
+    firsts = order[starts] if stable else np.minimum.reduceat(order, starts)
+    rank = np.argsort(firsts, kind="stable")
+    return sorted_ids[starts][rank], reduced[rank]
+
+
+def _group_sum_bincount(ids: Any, values: Any, n: int) -> Optional[Tuple[Any, Any]]:
+    """Sort-free int64 ⊕=+ fold for dense non-negative key spaces, or None.
+
+    ``np.bincount`` accumulates in float64, which is exact as long as every
+    partial sum is an integer below 2^53 — guaranteed here by bounding
+    ``n * max|value|``.  First-occurrence order is recovered without a sort
+    by scattering positions in reverse (with repeated indices the last
+    assignment wins, so each key keeps its smallest position)."""
+    span = int(ids.max()) + 1
+    if int(ids.min()) < 0 or span > 4 * n + 1024:
+        return None
+    bound = max(abs(int(values.max())), abs(int(values.min()))) if n else 0
+    if bound * n >= 1 << 53:
+        return None
+    counts = np.bincount(ids, minlength=span)
+    sums = np.bincount(ids, weights=values, minlength=span)
+    present = np.flatnonzero(counts)
+    first_pos = np.zeros(span, dtype=np.int64)
+    first_pos[ids[::-1]] = np.arange(n - 1, -1, -1, dtype=np.int64)
+    unique = present[np.argsort(first_pos[present])]
+    return unique, sums[unique].astype(np.int64)
+
+
+def first_occurrence_unique(ids: Any) -> Any:
+    """Unique ids in first-occurrence order (= ``dict.fromkeys`` order)."""
+    if ids.shape[0] == 0:
+        return ids[:0]
+    # Non-stable sort suffices: the first occurrence of a group is the
+    # minimum original position within its segment.
+    order = np.argsort(ids)
+    sorted_ids = ids[order]
+    starts = np.flatnonzero(
+        np.concatenate(([True], sorted_ids[1:] != sorted_ids[:-1]))
+    )
+    return ids[np.sort(np.minimum.reduceat(order, starts))]
+
+
+def group_index(ids: Any) -> Tuple[Any, Any, Any, Any]:
+    """Group rows by id: ``(order, unique_sorted, starts, counts)``.
+
+    ``order`` is the stable permutation grouping equal ids together (arrival
+    order within a group); ``unique_sorted[g]`` spans
+    ``order[starts[g] : starts[g] + counts[g]]``.
+    """
+    order = np.argsort(ids, kind="stable")
+    sorted_ids = ids[order]
+    if sorted_ids.shape[0] == 0:
+        empty = ids[:0]
+        return order, empty, empty, empty
+    starts = np.flatnonzero(
+        np.concatenate(([True], sorted_ids[1:] != sorted_ids[:-1]))
+    )
+    counts = np.diff(np.concatenate((starts, [sorted_ids.shape[0]])))
+    return order, sorted_ids[starts], starts, counts
+
+
+def segment_gather(starts: Any, counts: Any) -> Any:
+    """Concatenate ``arange(starts[i], starts[i] + counts[i])`` segments."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    ends = np.cumsum(counts)
+    return (
+        np.arange(total, dtype=np.int64)
+        - np.repeat(ends - counts, counts)
+        + np.repeat(starts, counts)
+    )
+
+
+def hash_join(left_ids: Any, right_ids: Any, outer: str = "right") -> Tuple[Any, Any]:
+    """Positions of every elementary product, in the tuple kernels' order.
+
+    ``outer="right"`` replays ``local_join_aggregate``: for each right item
+    in arrival order, all matching left items in arrival order.
+    ``outer="left"`` is the mirror.  Returns ``(left_positions,
+    right_positions)`` of equal length (the product count).
+    """
+    if outer == "right":
+        build_ids, probe_ids = left_ids, right_ids
+    elif outer == "left":
+        build_ids, probe_ids = right_ids, left_ids
+    else:  # pragma: no cover - internal misuse
+        raise ValueError(f"outer must be 'left' or 'right', got {outer!r}")
+    empty = np.empty(0, dtype=np.int64)
+    if build_ids.shape[0] == 0 or probe_ids.shape[0] == 0:
+        return empty, empty
+    order, unique_sorted, starts, counts = group_index(build_ids)
+    positions = np.searchsorted(unique_sorted, probe_ids)
+    clipped = np.minimum(positions, unique_sorted.shape[0] - 1)
+    matched = unique_sorted[clipped] == probe_ids
+    probe_sel = np.flatnonzero(matched)
+    if probe_sel.shape[0] == 0:
+        return empty, empty
+    groups = clipped[probe_sel]
+    group_counts = counts[groups]
+    probe_stream = np.repeat(probe_sel, group_counts)
+    build_stream = order[segment_gather(starts[groups], group_counts)]
+    if outer == "right":
+        return build_stream, probe_stream
+    return probe_stream, build_stream
+
+
+def combine_columns(
+    columns: Sequence[Any], base: int, size: int
+) -> Tuple[Optional[Any], int]:
+    """Pack parallel code columns into one int64 key per row (mixed radix).
+
+    Returns ``(codes, base)``; codes is None when ``base ** len(columns)``
+    would not fit (the caller falls back to tuple kernels).  Zero columns
+    pack to the constant 0 (the empty tuple key).
+    """
+    base = max(1, base)
+    if len(columns) == 0:
+        return np.zeros(size, dtype=np.int64), base
+    packed_span = 1
+    for _ in columns:
+        packed_span *= base
+        if packed_span >= _PACK_LIMIT:
+            return None, base
+    packed = columns[0].astype(np.int64, copy=True)
+    for column in columns[1:]:
+        packed *= base
+        packed += column
+    return packed, base
+
+
+def split_codes(packed: Any, base: int, width: int) -> List[Any]:
+    """Inverse of :func:`combine_columns`: per-column code arrays."""
+    if width == 0:
+        return []
+    columns: List[Any] = []
+    remaining = packed
+    for _ in range(width - 1):
+        remaining, column = np.divmod(remaining, base)
+        columns.append(column)
+    columns.append(remaining)
+    columns.reverse()
+    return columns
+
+
+def isin_filter(ids: Any, allowed: Any) -> Any:
+    """Boolean membership mask (vectorized semijoin filter)."""
+    return np.isin(ids, allowed)
+
+
+def select_splitters(samples: Any, p: int) -> Any:
+    """The regular-sampling splitter pick over gathered (sorted) samples:
+    ``samples[step::step][: p - 1]`` with ``step = max(1, len // p)``."""
+    if samples.shape[0] == 0:
+        return samples[:0]
+    step = max(1, samples.shape[0] // p)
+    return samples[step::step][: p - 1]

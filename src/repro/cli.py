@@ -23,7 +23,13 @@ Commands aimed at kicking the tires without writing code:
 
 ``compare``/``sweep``/``table1`` accept ``--json`` (machine-readable
 output on stdout) and ``--trace-out PATH`` (JSONL trace of the paper
-algorithm's runs).
+algorithm's runs).  Every command takes ``--backend`` to select the kernel
+implementation (``pytuple``/``numpy``/``auto``) — outputs are identical
+across backends, only wall-clock differs.
+
+The commands are thin argparse shells: all the work happens in
+:mod:`repro.api`, so anything printed here is available as structured data
+from the library.
 """
 
 from __future__ import annotations
@@ -33,17 +39,17 @@ import json
 import sys
 from typing import Any, Callable, Dict, List, Optional
 
+from . import api
+from .backends.dispatch import BACKENDS
+from .config import ExecutionConfig
 from .conformance import (
     DEFAULT_INVARIANTS,
     INVARIANTS,
     PROFILES,
     QUERY_FAMILIES,
     FuzzConfig,
-    fuzz as run_fuzz,
 )
-from .core.executor import run_query
 from .data.query import Instance
-from .mpc.cluster import MPCCluster
 from .obs import (
     JsonlSink,
     RingBufferSink,
@@ -104,6 +110,12 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="target OUT (planted families)")
         p.add_argument("--p", type=int, default=16, help="number of servers")
         p.add_argument("--seed", type=int, default=0)
+        add_backend(p)
+
+    def add_backend(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--backend", choices=BACKENDS, default="pytuple",
+                       help="kernel backend (results and meters are "
+                       "identical; numpy is faster on large instances)")
 
     def add_export(p: argparse.ArgumentParser) -> None:
         p.add_argument("--json", action="store_true",
@@ -131,6 +143,7 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="instance size knob (tuples per relation)")
     table1.add_argument("--families", nargs="*", default=None, metavar="FAMILY",
                         help="subset of Table-1 rows to measure (default: all)")
+    add_backend(table1)
     add_export(table1)
 
     trace = sub.add_parser(
@@ -173,6 +186,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="stop at the first invariant violation")
         p.add_argument("--json", action="store_true",
                        help="print the campaign summary as JSON")
+        add_backend(p)
 
     fuzz = sub.add_parser(
         "fuzz",
@@ -217,18 +231,17 @@ def _command_compare(args: argparse.Namespace) -> int:
     if not args.json:
         print(f"family={args.family}  N={instance.total_size}  p={args.p}  "
               f"class={instance.query.classify()}")
-    baseline = run_query(instance, p=args.p, algorithm="yannakakis")
-    cluster = None
-    if tracer is not None:
-        tracer.scope = args.family
-        cluster = MPCCluster(args.p, tracer=tracer)
-    ours = run_query(instance, p=args.p, cluster=cluster, algorithm="auto")
-    if tracer is not None:
-        tracer.close()
-    if baseline.relation.tuples != ours.relation.tuples:
+    config = ExecutionConfig(p=args.p, backend=args.backend, tracer=tracer)
+    try:
+        result = api.compare(instance, config, scope=args.family)
+    except AssertionError:
         print("ERROR: algorithms disagree!", file=sys.stderr)
         return 1
-    speedup = baseline.report.max_load / max(1, ours.report.max_load)
+    finally:
+        if tracer is not None:
+            tracer.close()
+    baseline, ours = result.baseline, result.ours
+    speedup = result.speedup
     if args.json:
         print(json.dumps({
             "family": args.family,
@@ -255,42 +268,43 @@ def _command_compare(args: argparse.Namespace) -> int:
 def _command_sweep(args: argparse.Namespace) -> int:
     """Sweep OUT for ``matmul``; sweep ``--tuples`` (doubling) otherwise."""
     tracer = _tracer_for(args)
+    config = ExecutionConfig(p=args.p, backend=args.backend, tracer=tracer)
     matmul = args.family == "matmul"
     knob_name = "OUT" if matmul else "tuples"
     points: List[Dict[str, Any]] = []
 
-    n = args.tuples
-    out = n
-    tuples = args.tuples
-    for _ in range(args.points):
-        if matmul:
-            knob = min(out, n * n)
-            instance = planted_out_matmul(n=n, out=knob)
-        else:
-            knob = tuples
-            args.tuples = tuples
-            try:
-                instance = _families()[args.family](args)
-            except ValueError as error:
-                # e.g. doubling --tuples past the family's domain capacity.
-                print(f"sweep stopped at {knob_name.lower()}={knob}: {error} "
-                      f"(try a larger --domain)", file=sys.stderr)
-                break
-        if tracer is not None:
-            tracer.scope = f"{args.family}/{knob_name}={knob}"
-        cluster = MPCCluster(args.p, tracer=tracer) if tracer is not None else None
-        baseline = run_query(instance, p=args.p, algorithm="yannakakis")
-        ours = run_query(instance, p=args.p, cluster=cluster, algorithm="auto")
+    def instances():
+        n = args.tuples
+        out = n
+        tuples = args.tuples
+        for _ in range(args.points):
+            if matmul:
+                knob = min(out, n * n)
+                instance = planted_out_matmul(n=n, out=knob)
+            else:
+                knob = tuples
+                args.tuples = tuples
+                try:
+                    instance = _families()[args.family](args)
+                except ValueError as error:
+                    # e.g. doubling --tuples past the family's domain capacity.
+                    print(f"sweep stopped at {knob_name.lower()}={knob}: {error} "
+                          f"(try a larger --domain)", file=sys.stderr)
+                    return
+            yield f"{args.family}/{knob_name}={knob}", knob, instance
+            out *= 8
+            tuples *= 2
+
+    for scope, knob, instance in instances():
+        result = api.compare(instance, config, scope=scope)
         points.append({
             knob_name.lower(): knob,
             "input_size": instance.total_size,
-            "out_size": ours.out_size,
-            "baseline_load": baseline.report.max_load,
-            "new_load": ours.report.max_load,
-            "speedup": baseline.report.max_load / max(1, ours.report.max_load),
+            "out_size": result.ours.out_size,
+            "baseline_load": result.baseline.report.max_load,
+            "new_load": result.ours.report.max_load,
+            "speedup": result.speedup,
         })
-        out *= 8
-        tuples *= 2
     if tracer is not None:
         tracer.close()
     if not points:
@@ -316,12 +330,10 @@ def _command_sweep(args: argparse.Namespace) -> int:
 
 def _command_table1(args: argparse.Namespace) -> int:
     """One adversarial instance per Table-1 row, baseline vs new algorithm."""
-    from .reporting import table1_report
-
     tracer = _tracer_for(args)
+    config = ExecutionConfig(p=args.p, backend=args.backend, tracer=tracer)
     try:
-        rows = table1_report(scale=args.scale, p=args.p, tracer=tracer,
-                             families=args.families)
+        rows = api.table1(scale=args.scale, config=config, families=args.families)
     except (AssertionError, ValueError) as error:
         print(f"ERROR: {error}", file=sys.stderr)
         return 1
@@ -356,9 +368,10 @@ def _command_trace(args: argparse.Namespace) -> int:
     if args.trace_out:
         sinks.append(JsonlSink(args.trace_out))
     tracer = Tracer(sinks, scope=args.family)
-    cluster = MPCCluster(args.p, tracer=tracer)
+    config = ExecutionConfig(p=args.p, algorithm=args.algorithm,
+                             backend=args.backend, tracer=tracer)
     try:
-        result = run_query(instance, cluster=cluster, algorithm=args.algorithm)
+        result = api.run_query(instance, config)
     except (KeyError, ValueError) as error:
         print(f"ERROR: cannot run {args.algorithm!r} on family "
               f"{args.family!r}: {error}", file=sys.stderr)
@@ -442,9 +455,10 @@ def _run_campaign(args: argparse.Namespace, invariants, label: str,
         corpus=args.corpus,
         shrink=not args.no_shrink,
         fail_fast=args.fail_fast,
+        backend=args.backend,
         **extra,
     )
-    summary = run_fuzz(config)
+    summary = api.chaos(config) if label == "chaos" else api.fuzz(config)
     if args.json:
         print(summary.to_json())
         return 0 if summary.ok else 1

@@ -1,0 +1,67 @@
+"""Execution configuration for the distributed executor.
+
+:class:`ExecutionConfig` gathers the knobs that were historically loose
+keyword arguments scattered over ``run_query``/CLI call sites — server
+count, algorithm choice, kernel backend, tracing, fault injection — into
+one declarative object that both the :mod:`repro.api` facade and the CLI
+pass around.  It is a plain frozen dataclass: construct it once, reuse it
+across queries; ``make_cluster`` builds a fresh
+:class:`~repro.mpc.cluster.MPCCluster` per run so meters never leak
+between executions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Optional
+
+from .backends.dispatch import BACKENDS, resolve_backend
+from .mpc.cluster import MPCCluster
+
+__all__ = ["ExecutionConfig"]
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """Everything an execution needs besides the instance itself.
+
+    ``backend`` is one of ``"pytuple"`` (portable reference kernels,
+    default), ``"numpy"`` (vectorized columnar kernels, identical results
+    and meters), or ``"auto"`` (numpy when available and the instance is
+    large enough to amortize encoding).  ``fault_schedule`` (a
+    :class:`~repro.mpc.faults.FaultSchedule`) forces the pytuple kernels
+    for the faulted run — recovery replays inboxes item-at-a-time.
+    """
+
+    p: int = 8
+    algorithm: str = "auto"
+    backend: Optional[str] = None
+    seed: int = 0
+    tracer: Optional[Any] = None
+    fault_schedule: Optional[Any] = None
+    validate: bool = False
+
+    def __post_init__(self) -> None:
+        if self.p < 1:
+            raise ValueError("ExecutionConfig needs p >= 1")
+        if self.backend is not None and self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
+            )
+
+    def with_backend(self, backend: Optional[str]) -> "ExecutionConfig":
+        return replace(self, backend=backend)
+
+    def make_cluster(self, total_size: Optional[int] = None) -> MPCCluster:
+        """A fresh cluster honouring every knob (meters start at zero).
+
+        ``total_size`` feeds the ``"auto"`` backend decision; pass the
+        instance's total tuple count when known.
+        """
+        return MPCCluster(
+            self.p,
+            seed=self.seed,
+            tracer=self.tracer,
+            faults=self.fault_schedule,
+            backend=resolve_backend(self.backend, total_size),
+        )

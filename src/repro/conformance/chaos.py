@@ -31,6 +31,7 @@ import random
 from typing import Any, Dict, List, Tuple
 
 from ..core.executor import applicable_algorithms, run_query
+from ..backends.dispatch import resolve_backend
 from ..mpc import (
     Fault,
     FaultInjector,
@@ -102,11 +103,14 @@ def check_chaos(case: FuzzCase, config) -> None:
     faults = int(getattr(config, "chaos_faults", CHAOS_FAULTS))
     instance = materialize(case, profile="counting")
     expected = _answers(evaluate(instance))
+    # Faulted runs force the pytuple kernels (recovery replays inboxes), but
+    # the fault-free reference honours the campaign's backend choice.
+    backend = resolve_backend(getattr(config, "backend", None), instance.total_size)
 
     planted_cell: Tuple[int, int] = (-1, -1)
     planted_algorithm = ""
     for algorithm_index, algorithm in enumerate(applicable_algorithms(case.query)):
-        clean_cluster = MPCCluster(config.p)
+        clean_cluster = MPCCluster(config.p, backend=backend)
         clean = run_query(instance, cluster=clean_cluster, algorithm=algorithm)
         if _answers(clean.relation) != expected:
             raise InvariantViolation(

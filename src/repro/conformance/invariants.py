@@ -69,12 +69,19 @@ def _result_map(relation: Relation) -> Dict[Tuple[Any, ...], Any]:
     return dict(relation.tuples)
 
 
+def _backend(config) -> Any:
+    """The campaign's kernel backend (older configs predate the field)."""
+    return getattr(config, "backend", None)
+
+
 def check_differential(case: FuzzCase, config) -> None:
     """Every applicable algorithm against the RAM oracle, exact equality."""
     instance = materialize(case)
     expected = _result_map(evaluate(instance))
     for algorithm in applicable_algorithms(case.query):
-        result = run_query(instance, p=config.p, algorithm=algorithm)
+        result = run_query(
+            instance, p=config.p, algorithm=algorithm, backend=_backend(config)
+        )
         got = _result_map(result.relation)
         if got != expected:
             missing = len(expected.keys() - got.keys())
@@ -110,7 +117,9 @@ def _hom_semirings() -> List[Tuple[str, Semiring, Callable[[int], Any]]]:
 def check_homomorphism(case: FuzzCase, config) -> None:
     """h(alg(I)) == alg(h(I)) for semiring homomorphisms h out of ℕ."""
     instance = materialize(case, profile="counting")
-    base = run_query(instance, p=config.p, algorithm="auto")
+    base = run_query(
+        instance, p=config.p, algorithm="auto", backend=_backend(config)
+    )
     for label, target, hom in _hom_semirings():
         mapped_relations = {
             name: Relation(
@@ -122,7 +131,9 @@ def check_homomorphism(case: FuzzCase, config) -> None:
             for name, relation in instance.relations.items()
         }
         mapped_instance = Instance(case.query, mapped_relations, target)
-        mapped = run_query(mapped_instance, p=config.p, algorithm="auto")
+        mapped = run_query(
+            mapped_instance, p=config.p, algorithm="auto", backend=_backend(config)
+        )
         expected = {k: hom(v) for k, v in base.relation.tuples.items()}
         if _result_map(mapped.relation) != expected:
             raise InvariantViolation(
@@ -135,7 +146,9 @@ def check_homomorphism(case: FuzzCase, config) -> None:
 def check_permutation(case: FuzzCase, config) -> None:
     """Attribute renaming + relation/tuple reorder leave the answer fixed."""
     instance = materialize(case, profile="counting")
-    base = run_query(instance, p=config.p, algorithm="auto")
+    base = run_query(
+        instance, p=config.p, algorithm="auto", backend=_backend(config)
+    )
 
     rng = random.Random(case.seed ^ 0x5EED)
     attrs = sorted(case.query.attributes)
@@ -161,7 +174,9 @@ def check_permutation(case: FuzzCase, config) -> None:
             relation.add(values, weight, COUNTING)
         permuted_relations[name] = relation
     permuted_instance = Instance(permuted_query, permuted_relations, COUNTING)
-    permuted = run_query(permuted_instance, p=config.p, algorithm="auto")
+    permuted = run_query(
+        permuted_instance, p=config.p, algorithm="auto", backend=_backend(config)
+    )
 
     # Re-key the permuted result onto the original output order.
     permuted_schema = tuple(sorted(permuted_query.output))
@@ -191,8 +206,10 @@ def _ranks(shuffled: List[str], attrs: List[str]) -> List[int]:
 def check_scaling(case: FuzzCase, config) -> None:
     """Load must not blow up and rounds must stay stable as p grows."""
     instance = materialize(case, profile="counting")
-    small = run_query(instance, p=config.p, algorithm="auto")
-    large = run_query(instance, p=config.p_large, algorithm="auto")
+    small = run_query(instance, p=config.p, algorithm="auto", backend=_backend(config))
+    large = run_query(
+        instance, p=config.p_large, algorithm="auto", backend=_backend(config)
+    )
     if large.relation.tuples != small.relation.tuples:
         raise InvariantViolation(
             "scaling", small.algorithm, "answer changed with the server count"
@@ -234,7 +251,9 @@ def check_opaque_discipline(case: FuzzCase, config) -> None:
             relations[name] = relation
         instance = Instance(case.query, relations, semiring)
         try:
-            result = run_query(instance, p=config.p, algorithm=algorithm)
+            result = run_query(
+            instance, p=config.p, algorithm=algorithm, backend=_backend(config)
+        )
         except TypeError as error:
             raise InvariantViolation(
                 "opaque-discipline", algorithm, f"discipline violation: {error}"

@@ -56,6 +56,11 @@ class FuzzConfig:
     corpus: Optional[str] = None
     shrink: bool = True
     fail_fast: bool = False
+    #: Kernel backend every invariant's runs use (``"pytuple"``/``"numpy"``/
+    #: ``"auto"``/None, see :mod:`repro.backends`).  Results and meters are
+    #: backend-independent, so summaries stay byte-identical across
+    #: backends — the field is deliberately absent from the JSON summary.
+    backend: Optional[str] = None
     #: Chaos-tier knobs (only read when the ``chaos`` invariant is active):
     #: recoverable schedules per (case, algorithm) and faults per schedule.
     chaos_schedules: int = 2

@@ -67,6 +67,8 @@ def run_query(
     cluster: Optional[MPCCluster] = None,
     algorithm: Algorithm = "auto",
     validate: bool = False,
+    backend: Optional[str] = None,
+    config: Optional["ExecutionConfig"] = None,
 ) -> QueryResult:
     """Evaluate ``instance`` on a (fresh or supplied) simulated MPC cluster.
 
@@ -75,13 +77,30 @@ def run_query(
     baseline (first column).  Explicit class names force that algorithm and
     raise if the query does not have the required shape.
 
+    ``config`` (an :class:`~repro.config.ExecutionConfig`) supplies every
+    knob not given explicitly; explicit arguments win.  ``backend`` selects
+    the kernel implementation (``"pytuple"``/``"numpy"``/``"auto"``, see
+    :mod:`repro.backends`) — results, cost reports, and traces are
+    identical across backends, only wall-clock differs.
+
     ``validate=True`` cross-checks the distributed answer against the
     sequential oracle (annotations included) and raises ``AssertionError``
     on any mismatch — a debugging aid for custom semirings and workloads;
     the oracle runs outside the cluster, so metering is unaffected.
     """
+    if config is not None:
+        p = config.p
+        if algorithm == "auto":
+            algorithm = config.algorithm
+        validate = validate or config.validate
+        if backend is None:
+            backend = config.backend
+        if cluster is None:
+            cluster = config.with_backend(backend).make_cluster(instance.total_size)
     if cluster is None:
-        cluster = MPCCluster(p)
+        from ..backends.dispatch import resolve_backend
+
+        cluster = MPCCluster(p, backend=resolve_backend(backend, instance.total_size))
     view = cluster.view()
     query = instance.query
     semiring = instance.semiring

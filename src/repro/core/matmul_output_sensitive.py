@@ -41,7 +41,12 @@ from ..primitives.reduce_by_key import reduce_by_key
 from ..semiring import Semiring
 from .allocation import RangeAllocation
 from .matmul_worst_case import _matmul_attrs
-from .two_way_join import join_aggregate_pair, local_join_aggregate
+from .two_way_join import (
+    join_aggregate_pair,
+    local_join_aggregate,
+    vector_join_context,
+    vector_profile,
+)
 
 __all__ = ["linear_sparse_mm", "matmul_output_sensitive", "output_sensitive_load_target"]
 
@@ -78,6 +83,9 @@ def linear_sparse_mm(
         lambda msg: _bucket(msg[1][0][b2_index], p, salt)
     )
     merged = left.concat(right)
+    vec = vector_join_context(
+        view, semiring, b1_index, b2_index, (("L", a_index), ("R", c_index))
+    )
 
     def compute(part: List[Any]) -> List[Any]:
         left_items = [item for tag, item in part if tag == "L"]
@@ -89,13 +97,15 @@ def linear_sparse_mm(
             lambda it: (it[0][b2_index],),
             lambda lv, rv: (lv[a_index], rv[c_index]),
             semiring,
+            vec=vec,
         )
         tracker.record_products(products)
         return list(partials.items())
 
     partials = merged.map_parts(compute)
     reduced = reduce_by_key(
-        partials, lambda pair: pair[0], lambda pair: pair[1], semiring.add, salt + 1
+        partials, lambda pair: pair[0], lambda pair: pair[1], semiring.add, salt + 1,
+        profile=vector_profile(view, semiring),
     )
     return DistRelation(
         (a_attr, c_attr), reduced.map_items(lambda pair: (tuple(pair[0]), pair[1]))
@@ -417,6 +427,9 @@ def _join_tasked(
 ) -> Distributed:
     """Join ("L"/"R", task, item) messages within tasks (colocated by B) and
     ⊕-reduce the (a, c) partials."""
+    vec = vector_join_context(
+        routed.view, semiring, b1_index, b2_index, (("L", a_index), ("R", c_index))
+    )
 
     def compute(part: List[Any]) -> List[Any]:
         lefts: Dict[Any, List[Any]] = {}
@@ -435,6 +448,7 @@ def _join_tasked(
                 lambda it: (it[0][b2_index],),
                 lambda lv, rv: (lv[a_index], rv[c_index]),
                 semiring,
+                vec=vec,
             )
             tracker.record_products(products)
             rows.extend(partials.items())
@@ -442,7 +456,8 @@ def _join_tasked(
 
     partials = routed.map_parts(compute)
     return reduce_by_key(
-        partials, lambda pair: pair[0], lambda pair: pair[1], semiring.add, salt
+        partials, lambda pair: pair[0], lambda pair: pair[1], semiring.add, salt,
+        profile=vector_profile(routed.view, semiring),
     )
 
 

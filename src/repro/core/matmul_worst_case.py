@@ -40,7 +40,7 @@ from ..primitives.reduce_by_key import reduce_by_key
 from ..primitives.sort import distributed_sort
 from ..semiring import Semiring
 from .allocation import RangeAllocation
-from .two_way_join import local_join_aggregate
+from .two_way_join import local_join_aggregate, vector_join_context, vector_profile
 
 __all__ = ["matmul_worst_case", "matmul_unbalanced", "worst_case_load_target"]
 
@@ -87,6 +87,15 @@ def matmul_unbalanced(
     big_out_index = big.attr_index(big_out)
     tracker = r1.view.tracker
     big_is_right = big is r2  # result key order must be (a, c)
+    vec = vector_join_context(
+        r1.view,
+        semiring,
+        small_b,
+        big_b,
+        (("L", small_out_index), ("R", big_out_index))
+        if big_is_right
+        else (("R", big_out_index), ("L", small_out_index)),
+    )
 
     def compute(part: List[Any]) -> List[Any]:
         partials, products = local_join_aggregate(
@@ -100,6 +109,7 @@ def matmul_unbalanced(
                 else (b_values[big_out_index], s_values[small_out_index])
             ),
             semiring,
+            vec=vec,
         )
         tracker.record_products(products)
         return list(partials.items())
@@ -138,6 +148,10 @@ def matmul_worst_case(
     a_index = r1.attr_index(a_attr)
     c_index = r2.attr_index(c_attr)
     tracker = view.tracker
+    vec = vector_join_context(
+        view, semiring, b1_index, b2_index, (("L", a_index), ("R", c_index))
+    )
+    profile = vector_profile(view, semiring)
 
     # Step 1: degrees and the heavy/light split.  Heavy lists have size
     # ≤ N/L ≤ p and live at the coordinator (control channel).
@@ -186,6 +200,7 @@ def matmul_worst_case(
                     lambda it: (it[0][b2_index],),
                     lambda lv, rv: (lv[a_index], rv[c_index]),
                     semiring,
+                    vec=vec,
                 )
                 tracker.record_products(products)
                 rows.extend(partials.items())
@@ -193,7 +208,8 @@ def matmul_worst_case(
 
         partials = routed.map_parts(compute)
         return reduce_by_key(
-            partials, lambda pair: pair[0], lambda pair: pair[1], semiring.add
+            partials, lambda pair: pair[0], lambda pair: pair[1], semiring.add,
+            profile=profile,
         )
 
     outputs: List[Distributed] = []
@@ -323,6 +339,7 @@ def matmul_worst_case(
                         lambda it: (it[0][b2_index],),
                         lambda lv, rv: (lv[a_index], rv[c_index]),
                         semiring,
+                        vec=vec,
                     )
                     tracker.record_products(products)
                     rows.extend(partials.items())

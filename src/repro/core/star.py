@@ -87,7 +87,7 @@ def star_query(
         lookup_table(
             reduce_by_key(
                 class_table, lambda pair: pair[1], lambda _p: None, lambda a, _b: a,
-                salt + 101,
+                salt + 101, profile="distinct",
             )
         )
     )

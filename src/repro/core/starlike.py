@@ -101,7 +101,7 @@ def starlike_query(
         lookup_table(
             reduce_by_key(
                 bucket_table, lambda pair: pair[1], lambda _p: None,
-                lambda a, _b: a, salt + 31,
+                lambda a, _b: a, salt + 31, profile="distinct",
             )
         )
     )
@@ -266,7 +266,7 @@ def _solve_large(
     classes = sorted(
         lookup_table(
             reduce_by_key(class_table, lambda pair: pair[1], lambda _p: None,
-                          lambda a, _b: a, salt + 241)
+                          lambda a, _b: a, salt + 241, profile="distinct")
         )
     )
     left_tagged = attach_by_key(

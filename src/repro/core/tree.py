@@ -45,7 +45,8 @@ from .arms import extract_arms
 from .line import line_query
 from .star import binarize, join_group_on_centre, star_query
 from .starlike import arm_reach_estimates, shrink_arm, starlike_query
-from .two_way_join import aggregate_relation, join_aggregate_pair
+from ..backends.columnar import FLOAT_MAX_PROFILE
+from .two_way_join import aggregate_relation, join_aggregate_pair, vector_profile
 
 __all__ = ["tree_query", "twig_eval"]
 
@@ -109,6 +110,7 @@ def tree_query(
             lambda item: item[1],
             semiring.add,
             salt=ctx.fresh_salt(),
+            profile=vector_profile(absorbed.view, semiring),
         ).map_items(lambda pair: (pair[0][0], pair[1]))
         index = target.attr_index(step.shared_attr)
         tagged = attach_by_key(
@@ -334,7 +336,8 @@ def _estimate_out_tree(
             )
             factors.append(
                 reduce_by_key(pairs, lambda pair: pair[0], lambda pair: pair[1],
-                              max, salt=ctx.fresh_salt())
+                              max, salt=ctx.fresh_salt(),
+                              profile=FLOAT_MAX_PROFILE)
             )
         if not factors:
             return None
@@ -352,7 +355,7 @@ def _estimate_out_tree(
         rel = relations[rel_name]
         ones = reduce_by_key(
             rel.data, rel.key_fn((root,)), lambda _i: 1.0, lambda a, _b: a,
-            salt=ctx.fresh_salt(),
+            salt=ctx.fresh_salt(), profile=FLOAT_MAX_PROFILE,
         )
         return ones.map_items(lambda pair: (pair[0][0], 1.0))
     return table

@@ -21,8 +21,10 @@ The same routine with ``keep = all attributes`` is a plain full join.
 from __future__ import annotations
 
 import math
-from typing import Any, Callable, Dict, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..backends.dispatch import np, numpy_enabled
 from ..data.relation import DistRelation
 from ..mpc.distributed import Distributed
 from ..mpc.hashing import hash_to_bucket, stable_hash
@@ -35,6 +37,8 @@ __all__ = [
     "join_aggregate_naive",
     "aggregate_relation",
     "local_join_aggregate",
+    "vector_join_context",
+    "vector_profile",
 ]
 
 
@@ -125,8 +129,17 @@ def join_aggregate_pair(
 
     keep_sources = _keep_sources(left.schema, right.schema, keep)
     tracker = view.tracker
+    profile = vector_profile(view, semiring)
 
     def local_join(part: List[Any]) -> List[Any]:
+        if profile is not None:
+            vectorized = _local_join_cells_vec(
+                part, view.cluster.codec, profile, keep_sources
+            )
+            if vectorized is not None:
+                partials, products = vectorized
+                tracker.record_products(products)
+                return list(partials.items())
         lefts: Dict[Tuple, List[Tuple]] = {}
         rights: Dict[Tuple, List[Tuple]] = {}
         for tag, cell, item in part:
@@ -159,6 +172,7 @@ def join_aggregate_pair(
         lambda pair: pair[1],
         semiring.add,
         salt=salt + 13,
+        profile=profile,
     )
     return DistRelation(keep, reduced)
 
@@ -191,6 +205,212 @@ def _keep_sources(
     return sources
 
 
+# -- vectorized local-join kernels (numpy backend) ----------------------------
+#
+# These replay the dict kernels' elementary-product stream with array ops
+# (see repro.backends.kernels): same products, same partials order, so the
+# pre-aggregated partials a server emits — and therefore every meter — are
+# identical.  Anything the codec/profile cannot represent exactly returns
+# None and the caller runs the dict kernel; the decision is always local,
+# never mid-communication.
+
+#: Integer product streams cap their length so segment sums stay exact
+#: (< 2^22 products, each < 2^40, sums < 2^62).
+_PRODUCT_SUM_GUARD = 1 << 22
+#: int64 ⊗-products must stay well inside int64.
+_PRODUCT_MUL_LIMIT = 1 << 62
+
+
+@dataclass(frozen=True)
+class _VectorJoinSpec:
+    """What a vectorized local join needs to know about the tuple layout:
+    the single join-key column on each side and where each output attribute
+    is read from (``("L"/"R", column index)``, as in :func:`_keep_sources`).
+    """
+
+    codec: Any
+    profile: Any
+    left_key_col: int
+    right_key_col: int
+    out_sources: Tuple[Tuple[str, int], ...]
+
+
+def vector_join_context(
+    view: Any,
+    semiring: Semiring,
+    left_key_col: int,
+    right_key_col: int,
+    out_sources: Sequence[Tuple[str, int]],
+) -> Optional[_VectorJoinSpec]:
+    """A :class:`_VectorJoinSpec` when this view's cluster may vectorize
+    single-column local joins under ``semiring``, else None (tuple backend,
+    no profile, or fault injection active)."""
+    profile = vector_profile(view, semiring)
+    if profile is None:
+        return None
+    return _VectorJoinSpec(
+        view.cluster.codec, profile, left_key_col, right_key_col, tuple(out_sources)
+    )
+
+
+def vector_profile(view: Any, semiring: Semiring) -> Optional[Any]:
+    """The reduce/join vectorization profile of ``semiring`` on this view's
+    cluster, or None (tuple backend, faults active, or no profile)."""
+    if not numpy_enabled(view):
+        return None
+    from ..backends.columnar import profile_of
+
+    return profile_of(semiring)
+
+
+def _mul_safe(profile: Any, left_ann: Any, right_ann: Any, products: int) -> bool:
+    """Can ``products`` ⊗-results be computed and ⊕-reduced exactly in the
+    profile's dtype?"""
+    if profile.kind == "int":
+        return products < _PRODUCT_SUM_GUARD
+    if (
+        profile.mul_name == "mul"
+        and left_ann.dtype == np.int64
+        and right_ann.dtype == np.int64
+        and left_ann.size
+        and right_ann.size
+    ):
+        bound = int(np.abs(left_ann).max()) * int(np.abs(right_ann).max())
+        return bound < _PRODUCT_MUL_LIMIT
+    return True
+
+
+def _aggregate_product_stream(
+    codec: Any, profile: Any, out_columns: List[Any], weights: Any
+) -> Optional[Dict[Tuple, Any]]:
+    """⊕-aggregate an elementary-product stream by its (packed) out-key.
+
+    Returns the partials dict in key-first-occurrence order — exactly the
+    dict the scalar kernels build — or None when the key space cannot pack
+    into int64."""
+    from ..backends.kernels import combine_columns, group_reduce, split_codes
+
+    packed, base = combine_columns(out_columns, len(codec), weights.shape[0])
+    if packed is None:
+        return None
+    unique, reduced = group_reduce(packed, weights, profile.add_ufunc)
+    if not out_columns:
+        return {(): value for value in reduced.tolist()}
+    decoded = [
+        codec.decode_many(column)
+        for column in split_codes(unique, base, len(out_columns))
+    ]
+    return dict(zip(zip(*decoded), reduced.tolist()))
+
+
+def _local_join_vec(
+    left_items: Sequence[Tuple[Tuple, Any]],
+    right_items: Sequence[Tuple[Tuple, Any]],
+    vec: _VectorJoinSpec,
+) -> Optional[Tuple[Dict[Tuple, Any], int]]:
+    """Vectorized :func:`local_join_aggregate`: the right-outer probe stream
+    (each right item in arrival order, its left matches in arrival order)."""
+    from ..backends.columnar import encode_annotations
+    from ..backends.kernels import hash_join
+
+    codec, profile = vec.codec, vec.profile
+    left_ann = encode_annotations([item[1] for item in left_items], profile)
+    right_ann = encode_annotations([item[1] for item in right_items], profile)
+    if left_ann is None or right_ann is None:
+        return None
+    left_codes = codec.encode_many([item[0][vec.left_key_col] for item in left_items])
+    right_codes = codec.encode_many(
+        [item[0][vec.right_key_col] for item in right_items]
+    )
+    l_pos, r_pos = hash_join(left_codes, right_codes, outer="right")
+    products = int(l_pos.shape[0])
+    if products == 0:
+        return {}, 0
+    if not _mul_safe(profile, left_ann, right_ann, products):
+        return None
+    weights = profile.mul(left_ann[l_pos], right_ann[r_pos])
+    out_columns = _gather_out_columns(
+        codec, vec.out_sources, left_items, right_items, l_pos, r_pos
+    )
+    partials = _aggregate_product_stream(codec, profile, out_columns, weights)
+    if partials is None:
+        return None
+    return partials, products
+
+
+def _local_join_cells_vec(
+    part: Sequence[Tuple[str, Tuple, Tuple]],
+    codec: Any,
+    profile: Any,
+    keep_sources: Sequence[Tuple[str, int]],
+) -> Optional[Tuple[Dict[Tuple, Any], int]]:
+    """Vectorized cell-grouped local join (the fragment-replicate kernel of
+    :func:`join_aggregate_pair`).
+
+    The dict kernel streams products cell-by-cell in *left-first-occurrence*
+    cell order; blocking the left rows by that rank (stable, so arrival
+    order survives within a block) makes the left-outer probe replay the
+    exact same stream."""
+    from ..backends.columnar import encode_annotations
+    from ..backends.kernels import first_occurrence_unique, hash_join
+
+    left_rows: List[Tuple] = []
+    right_rows: List[Tuple] = []
+    left_cells: List[Tuple] = []
+    right_cells: List[Tuple] = []
+    for tag, cell, item in part:
+        if tag == "L":
+            left_rows.append(item)
+            left_cells.append(cell)
+        else:
+            right_rows.append(item)
+            right_cells.append(cell)
+    left_ann = encode_annotations([item[1] for item in left_rows], profile)
+    right_ann = encode_annotations([item[1] for item in right_rows], profile)
+    if left_ann is None or right_ann is None:
+        return None
+    left_codes = codec.encode_many(left_cells)
+    right_codes = codec.encode_many(right_cells)
+    firsts = first_occurrence_unique(left_codes)
+    first_order = np.argsort(firsts, kind="stable")
+    ranks = first_order[np.searchsorted(firsts[first_order], left_codes)]
+    perm = np.argsort(ranks, kind="stable")
+    l_block, r_pos = hash_join(left_codes[perm], right_codes, outer="left")
+    products = int(l_block.shape[0])
+    if products == 0:
+        return {}, 0
+    if not _mul_safe(profile, left_ann, right_ann, products):
+        return None
+    l_pos = perm[l_block]
+    weights = profile.mul(left_ann[l_pos], right_ann[r_pos])
+    out_columns = _gather_out_columns(
+        codec, keep_sources, left_rows, right_rows, l_pos, r_pos
+    )
+    partials = _aggregate_product_stream(codec, profile, out_columns, weights)
+    if partials is None:
+        return None
+    return partials, products
+
+
+def _gather_out_columns(
+    codec: Any,
+    sources: Sequence[Tuple[str, int]],
+    left_items: Sequence[Tuple[Tuple, Any]],
+    right_items: Sequence[Tuple[Tuple, Any]],
+    l_pos: Any,
+    r_pos: Any,
+) -> List[Any]:
+    """Per output attribute: its code for every elementary product."""
+    columns: List[Any] = []
+    for side, index in sources:
+        if side == "L":
+            column = codec.encode_many([item[0][index] for item in left_items])[l_pos]
+        else:
+            column = codec.encode_many([item[0][index] for item in right_items])[r_pos]
+        columns.append(column)
+    return columns
+
+
 def aggregate_relation(
     relation: DistRelation,
     group_attrs: Sequence[str],
@@ -205,6 +425,7 @@ def aggregate_relation(
         lambda item: item[1],
         semiring.add,
         salt=salt,
+        profile=vector_profile(relation.view, semiring),
     )
     return DistRelation(tuple(group_attrs), reduced)
 
@@ -216,13 +437,20 @@ def local_join_aggregate(
     right_key: Callable[[Tuple[Tuple, Any]], Tuple],
     out_key: Callable[[Tuple, Tuple], Tuple],
     semiring: Semiring,
+    vec: Optional[_VectorJoinSpec] = None,
 ) -> Tuple[Dict[Tuple, Any], int]:
     """Join two local tuple lists on their keys, ⊕-aggregating by ``out_key``.
 
     Returns ``(partials, elementary_product_count)``; used by every algorithm
     that arranges tuples so products can be aggregated in place (the paper's
-    "locality").
+    "locality").  ``vec`` (a :func:`vector_join_context` result, optional)
+    lets the numpy backend run the same join as array kernels; the caller
+    guarantees it describes the same keys and out-key as the callables.
     """
+    if vec is not None:
+        vectorized = _local_join_vec(left_items, right_items, vec)
+        if vectorized is not None:
+            return vectorized
     index: Dict[Tuple, List[Tuple[Tuple, Any]]] = {}
     for item in left_items:
         index.setdefault(left_key(item), []).append(item)
@@ -271,6 +499,17 @@ def join_aggregate_naive(
     right_key = right.key_fn(shared)
     keep_sources = _keep_sources(left.schema, right.schema, keep)
     tracker = view.tracker
+    vec = (
+        vector_join_context(
+            view,
+            semiring,
+            left.schema.index(shared[0]),
+            right.schema.index(shared[0]),
+            keep_sources,
+        )
+        if len(shared) == 1
+        else None
+    )
 
     # Both sides co-partition in ONE shuffle round (the textbook plan),
     # so the heavy key's server receives d_L(b) + d_R(b) in a single round.
@@ -295,6 +534,7 @@ def join_aggregate_naive(
                 lv[i] if side == "L" else rv[i] for side, i in keep_sources
             ),
             semiring,
+            vec=vec,
         )
         tracker.record_products(products)
         return list(partials.items())
@@ -302,6 +542,6 @@ def join_aggregate_naive(
     partials = routed.map_parts(local_join)
     reduced = reduce_by_key(
         partials, lambda pair: pair[0], lambda pair: pair[1], semiring.add,
-        salt=salt + 13,
+        salt=salt + 13, profile=vector_profile(view, semiring),
     )
     return DistRelation(keep, reduced)

@@ -10,6 +10,7 @@ living on a cluster view.
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..mpc.cluster import ClusterView
@@ -42,6 +43,10 @@ class Relation:
         self.name = name
         self.schema: Tuple[str, ...] = tuple(schema)
         self.tuples: Dict[Tuple[Any, ...], Any] = {}
+        #: per-attribute-index caches of (column values, value -> multiplicity);
+        #: dropped whenever a *new* tuple key is inserted (annotation
+        #: ⊕-combines keep the key set, so they leave the caches valid).
+        self._indexes: Dict[int, Tuple[List[Any], Counter]] = {}
         for values, annotation in tuples or ():
             self.add(values, annotation, semiring)
 
@@ -65,6 +70,8 @@ class Relation:
             self.tuples[key] = semiring.add(self.tuples[key], annotation)
         else:
             self.tuples[key] = annotation
+            if self._indexes:
+                self._indexes.clear()
 
     # -- inspection ---------------------------------------------------------------
 
@@ -88,20 +95,31 @@ class Relation:
         except ValueError:
             raise KeyError(f"{attribute!r} not in schema {self.schema!r}") from None
 
+    def _index(self, attribute: str) -> Tuple[List[Any], Counter]:
+        """The memoized (column, multiplicities) pair of one attribute.
+
+        Built in one O(n) pass on first access; repeated ``degree`` probes —
+        the hot statistic of every heavy/light split — are O(1) afterwards.
+        """
+        index = self.attr_index(attribute)
+        cached = self._indexes.get(index)
+        if cached is None:
+            column = [values[index] for values in self.tuples]
+            cached = (column, Counter(column))
+            self._indexes[index] = cached
+        return cached
+
     def column(self, attribute: str) -> List[Any]:
         """All values (with multiplicity) of one attribute."""
-        index = self.attr_index(attribute)
-        return [values[index] for values in self.tuples]
+        return list(self._index(attribute)[0])
 
     def active_domain(self, attribute: str) -> set:
         """Distinct values of ``attribute`` occurring in the relation."""
-        index = self.attr_index(attribute)
-        return {values[index] for values in self.tuples}
+        return set(self._index(attribute)[1])
 
     def degree(self, attribute: str, value: Any) -> int:
         """|σ_{attribute=value} R| — the paper's degree statistic (§2.1)."""
-        index = self.attr_index(attribute)
-        return sum(1 for values in self.tuples if values[index] == value)
+        return self._index(attribute)[1].get(value, 0)
 
     def project_keys(self, attributes: Sequence[str]) -> set:
         """Distinct value combinations of ``attributes`` (set projection)."""

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 from .core.matmul import sparse_matmul
+from .core.two_way_join import vector_profile
 from .data.relation import DistRelation, Relation
 from .mpc.cluster import ClusterView, MPCCluster
 from .mpc.stats import CostReport
@@ -49,7 +50,8 @@ def _add(
     """Entrywise ⊕ of two matrices (a reduce-by-key union)."""
     union = left.data.concat(right.data)
     summed = reduce_by_key(
-        union, lambda item: item[0], lambda item: item[1], semiring.add, salt
+        union, lambda item: item[0], lambda item: item[1], semiring.add, salt,
+        profile=vector_profile(left.view, semiring),
     )
     return DistRelation(("A", "B"), summed.map_items(lambda kv: (tuple(kv[0]), kv[1])))
 

@@ -41,14 +41,22 @@ class MPCCluster:
     deterministic fault injection with checkpoint/replay recovery; without
     it (the default) every delivering operation pays a single ``None``
     check and all meters are bit-identical to a fault-free build.
+
+    ``backend`` (``"pytuple"`` or ``"numpy"``, default ``"pytuple"``)
+    selects the kernel implementation the primitives use for their local
+    work; it never changes what ``exchange`` delivers or meters (see
+    :mod:`repro.backends`).  ``cluster.codec`` is the backend's shared
+    value codec, created lazily on first use.
     """
 
     def __init__(self, p: int, seed: int = 0, tracer: Optional[Any] = None,
-                 faults: Optional[Any] = None) -> None:
+                 faults: Optional[Any] = None, backend: str = "pytuple") -> None:
         if p < 1:
             raise ValueError("cluster needs at least one server")
         self.p = p
         self.seed = seed
+        self.backend = backend
+        self._codec: Optional[Any] = None
         self.tracker = LoadTracker(tracer=tracer)
         if faults is None:
             self.faults = None
@@ -56,6 +64,15 @@ class MPCCluster:
             from .faults import as_injector
 
             self.faults = as_injector(faults)
+
+    @property
+    def codec(self) -> Any:
+        """The cluster-wide :class:`~repro.backends.columnar.ValueCodec`."""
+        if self._codec is None:
+            from ..backends.columnar import ValueCodec
+
+            self._codec = ValueCodec()
+        return self._codec
 
     def view(self) -> "ClusterView":
         """The root view over all ``p`` servers, cursor at the current round."""

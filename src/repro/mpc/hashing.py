@@ -9,9 +9,16 @@ from __future__ import annotations
 
 import hashlib
 import struct
-from typing import Any
+from typing import Any, List, Sequence
 
-__all__ = ["stable_hash", "hash_to_unit", "hash_to_bucket"]
+__all__ = [
+    "stable_hash",
+    "stable_hash_many",
+    "encode_key",
+    "stable_hash_encoded",
+    "hash_to_unit",
+    "hash_to_bucket",
+]
 
 _MASK64 = (1 << 64) - 1
 
@@ -55,6 +62,45 @@ def stable_hash(value: Any, salt: int = 0) -> int:
         _encode(value), digest_size=8, key=salt.to_bytes(8, "big")
     ).digest()
     return int.from_bytes(digest, "big") & _MASK64
+
+
+def stable_hash_many(values: Sequence[Any], salt: int = 0) -> List[int]:
+    """``stable_hash`` of every value, batched.
+
+    Identical results to the scalar function; hoisting the key bytes and
+    attribute lookups out of the loop roughly halves the per-value cost,
+    which matters to the columnar backend's hash caches.
+    """
+    key = salt.to_bytes(8, "big")
+    blake2b = hashlib.blake2b
+    encode = _encode
+    from_bytes = int.from_bytes
+    return [
+        from_bytes(blake2b(encode(value), digest_size=8, key=key).digest(), "big")
+        & _MASK64
+        for value in values
+    ]
+
+
+def encode_key(value: Any) -> bytes:
+    """The canonical byte encoding :func:`stable_hash` digests.
+
+    Exposed so callers hashing the same value under many salts (the
+    columnar codec's per-salt caches, KMV repetitions) can pay the
+    encoding once and feed :func:`stable_hash_encoded` afterwards.
+    """
+    return _encode(value)
+
+
+def stable_hash_encoded(encoded: Sequence[bytes], salt: int = 0) -> List[int]:
+    """``stable_hash`` over pre-encoded keys (see :func:`encode_key`)."""
+    key = salt.to_bytes(8, "big")
+    blake2b = hashlib.blake2b
+    from_bytes = int.from_bytes
+    return [
+        from_bytes(blake2b(raw, digest_size=8, key=key).digest(), "big") & _MASK64
+        for raw in encoded
+    ]
 
 
 def hash_to_unit(value: Any, salt: int = 0) -> float:

@@ -13,12 +13,13 @@ is O(k log N) = Õ(1), absorbed by the paper's Õ notation (see DESIGN.md).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..backends.dispatch import np, numpy_enabled
 from ..data.relation import DistRelation
 from ..mpc.distributed import Distributed
 from .degrees import attach_by_key
-from .kmv import MultiKMV
+from .kmv import KMV, MultiKMV
 from .reduce_by_key import reduce_by_key
 
 __all__ = ["estimate_path_out", "sketch_column", "propagate_sketches"]
@@ -41,6 +42,10 @@ def sketch_column(
     ``counted_attr`` values: ``(key_value, bundle)`` pairs."""
     counted_index = relation.attr_index(counted_attr)
     key_index = relation.attr_index(key_attr)
+    if numpy_enabled(relation.view):
+        return _sketch_column_vec(
+            relation, counted_index, key_index, k, repetitions, base_salt
+        )
     singles = relation.data.map_items(
         lambda item: (
             item[0][key_index],
@@ -53,6 +58,95 @@ def sketch_column(
         lambda pair: pair[1],
         lambda a, b: a.merge(b),
     )
+
+
+def _sketch_column_vec(
+    relation: DistRelation,
+    counted_index: int,
+    key_index: int,
+    k: int,
+    repetitions: int,
+    base_salt: int,
+) -> Distributed:
+    """The vectorized sketch build: equals the tuple path's reduce-by-key
+    over singleton bundles (same partial bundles, same first-occurrence
+    emission order, same exchange, same final merge).
+
+    Folding singleton :class:`MultiKMV` merges per key leaves exactly the
+    ``k`` smallest *distinct* hash units of the key's counted values, per
+    repetition — computed here with one lexsort per repetition instead of
+    one sketch allocation per tuple.
+    """
+    from ..backends.kernels import first_occurrence_unique
+
+    view = relation.view
+    p = view.p
+    codec = view.cluster.codec
+
+    outboxes: List[List[Tuple[int, Tuple]]] = []
+    for part in relation.data.parts:
+        key_ids = codec.encode_many([item[0][key_index] for item in part])
+        counted_ids = codec.encode_many([item[0][counted_index] for item in part])
+        unique_ids = first_occurrence_unique(key_ids)
+        per_rep: List[Dict[int, Tuple[float, ...]]] = []
+        for repetition in range(repetitions):
+            units = codec.units(counted_ids, base_salt + repetition)
+            per_rep.append(_k_smallest_distinct(key_ids, units, k))
+        destinations = codec.buckets(unique_ids, p, 0).tolist()
+        unique_keys = codec.decode_many(unique_ids)
+        outbox = []
+        for dest, key, key_id in zip(destinations, unique_keys, unique_ids.tolist()):
+            bundle = MultiKMV(
+                tuple(
+                    KMV(k, base_salt + repetition, per_rep[repetition].get(key_id, ()))
+                    for repetition in range(repetitions)
+                )
+            )
+            outbox.append((dest, (key, bundle)))
+        outboxes.append(outbox)
+
+    inboxes = view.exchange(outboxes)
+    final_parts: List[List[Tuple]] = []
+    for inbox in inboxes:
+        totals: Dict[Tuple, MultiKMV] = {}
+        for key, bundle in inbox:
+            if key in totals:
+                totals[key] = totals[key].merge(bundle)
+            else:
+                totals[key] = bundle
+        final_parts.append(list(totals.items()))
+    return Distributed(view, final_parts)
+
+
+def _k_smallest_distinct(
+    key_ids, units, k: int
+) -> Dict[int, Tuple[float, ...]]:
+    """Per key id, the ``k`` smallest distinct unit hashes (ascending) —
+    the ``tuple(sorted(set(...)))[:k]`` of :meth:`KMV.merge`, batched."""
+    if key_ids.shape[0] == 0:
+        return {}
+    order = np.lexsort((units, key_ids))
+    ks = key_ids[order]
+    us = units[order]
+    fresh = np.concatenate(([True], (ks[1:] != ks[:-1]) | (us[1:] != us[:-1])))
+    ks = ks[fresh]
+    us = us[fresh]
+    starts = np.flatnonzero(np.concatenate(([True], ks[1:] != ks[:-1])))
+    counts = np.diff(np.concatenate((starts, [ks.shape[0]])))
+    ranks = np.arange(ks.shape[0], dtype=np.int64) - np.repeat(starts, counts)
+    keep = ranks < k
+    ks = ks[keep]
+    us = us[keep]
+    result: Dict[int, Tuple[float, ...]] = {}
+    boundaries = np.flatnonzero(
+        np.concatenate(([True], ks[1:] != ks[:-1]))
+    ).tolist() + [ks.shape[0]]
+    key_list = ks.tolist()
+    unit_list = us.tolist()
+    for i in range(len(boundaries) - 1):
+        start, end = boundaries[i], boundaries[i + 1]
+        result[key_list[start]] = tuple(unit_list[start:end])
+    return result
 
 
 def propagate_sketches(

@@ -6,16 +6,31 @@ combiner in O(1) rounds with O(N/p + K/p) load: local pre-aggregation first
 repartitioning of the ≤ p·K partials, then a final local combine.  The
 pre-aggregation is what caps the per-key fan-in at p and keeps heavy keys
 harmless.
+
+When the cluster runs the numpy backend and the caller identifies the
+combiner via a ``profile`` (an :class:`~repro.backends.columnar
+.AnnotationProfile`, or ``"distinct"`` for dedup-only reductions), both
+aggregation stages run as sort-and-segment-reduce kernels instead of dict
+folds.  The vectorized path emits partials in the same first-occurrence
+order, routes them to the same hashed destinations through the same
+``exchange``, and therefore meters identically; anything it cannot encode
+exactly falls back to the dict kernels before any communication happens.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List
+from typing import Any, Callable, Dict, List, Optional
 
+from ..backends.dispatch import numpy_enabled
 from ..mpc.distributed import Distributed
 from ..mpc.hashing import hash_to_bucket
 
 __all__ = ["reduce_by_key", "count_by_key", "distinct_keys"]
+
+#: Pre-aggregated partials may be much larger than raw annotations; the
+#: final stage admits ints below 2^40 (sums of ≤ 2^22 of them stay exact).
+_FINAL_INT_LIMIT = 1 << 40
+_FINAL_MAX_ITEMS = 1 << 22
 
 
 def reduce_by_key(
@@ -24,11 +39,25 @@ def reduce_by_key(
     value_fn: Callable[[Any], Any],
     combine: Callable[[Any, Any], Any],
     salt: int = 0,
+    profile: Optional[Any] = None,
 ) -> Distributed:
     """Return a dataset of ``(key, combined_value)`` pairs, one per distinct key,
-    hash-partitioned by key."""
+    hash-partitioned by key.
+
+    ``profile`` (optional) declares what ``combine`` computes so the numpy
+    backend may vectorize: pass the semiring's
+    :func:`~repro.backends.columnar.profile_of` result, or ``"distinct"``
+    when ``combine`` just keeps the first value.  The caller is responsible
+    for profile/combine agreement; results and metering are identical with
+    or without it.
+    """
     view = dist.view
     p = view.p
+
+    if profile is not None and numpy_enabled(view):
+        result = _reduce_by_key_columnar(dist, key_fn, value_fn, combine, salt, profile)
+        if result is not None:
+            return result
 
     def pre_aggregate(part: List[Any]) -> List[Any]:
         partials: Dict[Any, Any] = {}
@@ -56,16 +85,125 @@ def reduce_by_key(
     return routed.map_parts(final_aggregate)
 
 
+def _reduce_by_key_columnar(
+    dist: Distributed,
+    key_fn: Callable[[Any], Any],
+    value_fn: Callable[[Any], Any],
+    combine: Callable[[Any, Any], Any],
+    salt: int,
+    profile: Any,
+) -> Optional[Distributed]:
+    """The vectorized both-stages path; None ⇒ caller falls back (and no
+    communication has happened yet)."""
+    from ..backends.columnar import encode_annotations
+    from ..backends.kernels import first_occurrence_unique, group_reduce
+
+    view = dist.view
+    p = view.p
+    codec = view.cluster.codec
+    distinct = profile == "distinct"
+
+    # Stage 1 (local): encode every part before touching the network, so a
+    # non-encodable annotation anywhere aborts cleanly into the dict path.
+    staged: List[tuple] = []
+    for part in dist.parts:
+        keys = [key_fn(item) for item in part]
+        if distinct:
+            values = None
+        else:
+            values = encode_annotations([value_fn(item) for item in part], profile)
+            if values is None and part:
+                return None
+        staged.append((keys, values))
+
+    outboxes: List[List[Any]] = []
+    for keys, values in staged:
+        key_ids = codec.encode_many(keys)
+        if distinct:
+            unique_ids = first_occurrence_unique(key_ids)
+            reduced = None
+        else:
+            unique_ids, reduced = group_reduce(key_ids, values, profile.add_ufunc)
+        destinations = codec.buckets(unique_ids, p, salt).tolist()
+        unique_keys = codec.decode_many(unique_ids)
+        if distinct:
+            outboxes.append(
+                [(dest, (key, None)) for dest, key in zip(destinations, unique_keys)]
+            )
+        else:
+            outboxes.append(
+                [
+                    (dest, (key, value))
+                    for dest, key, value in zip(
+                        destinations, unique_keys, reduced.tolist()
+                    )
+                ]
+            )
+
+    inboxes = view.exchange(outboxes)
+
+    # Stage 2 (local): same kernel per inbox; a partial that no longer fits
+    # the dtype falls back to the dict fold *locally* — the exchange already
+    # happened and is identical either way.
+    final_parts: List[List[Any]] = []
+    for inbox in inboxes:
+        vectorized = None
+        if len(inbox) < _FINAL_MAX_ITEMS:
+            vectorized = _final_columnar(inbox, codec, profile, distinct)
+        if vectorized is None:
+            totals: Dict[Any, Any] = {}
+            for key, value in inbox:
+                if key in totals:
+                    totals[key] = combine(totals[key], value)
+                else:
+                    totals[key] = value
+            vectorized = list(totals.items())
+        final_parts.append(vectorized)
+    return Distributed(view, final_parts)
+
+
+def _final_columnar(
+    inbox: List[Any], codec: Any, profile: Any, distinct: bool
+) -> Optional[List[Any]]:
+    from ..backends.columnar import encode_annotations
+    from ..backends.kernels import first_occurrence_unique, group_reduce
+
+    keys = [pair[0] for pair in inbox]
+    key_ids = codec.encode_many(keys)
+    if distinct:
+        unique_keys = codec.decode_many(first_occurrence_unique(key_ids))
+        return [(key, None) for key in unique_keys]
+    values = encode_annotations(
+        [pair[1] for pair in inbox], profile, int_limit=_FINAL_INT_LIMIT
+    )
+    if values is None and inbox:
+        return None
+    unique_ids, reduced = group_reduce(key_ids, values, profile.add_ufunc)
+    return list(zip(codec.decode_many(unique_ids), reduced.tolist()))
+
+
 def count_by_key(
     dist: Distributed, key_fn: Callable[[Any], Any], salt: int = 0
 ) -> Distributed:
     """Degree computation (§2.1): ``(key, multiplicity)`` pairs."""
-    return reduce_by_key(dist, key_fn, lambda _item: 1, lambda a, b: a + b, salt)
+    from ..backends.columnar import profile_of
+    from ..semiring.standard import COUNTING
+
+    return reduce_by_key(
+        dist,
+        key_fn,
+        lambda _item: 1,
+        lambda a, b: a + b,
+        salt,
+        profile=profile_of(COUNTING),
+    )
 
 
 def distinct_keys(
     dist: Distributed, key_fn: Callable[[Any], Any], salt: int = 0
 ) -> Distributed:
     """Distinct keys of the dataset, hash-partitioned (items are bare keys)."""
-    reduced = reduce_by_key(dist, key_fn, lambda _item: None, lambda a, _b: a, salt)
+    reduced = reduce_by_key(
+        dist, key_fn, lambda _item: None, lambda a, _b: a, salt, profile="distinct"
+    )
     return reduced.map_items(lambda pair: pair[0])

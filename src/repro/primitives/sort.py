@@ -16,8 +16,9 @@ proves the relevant degree is ≤ N/p there, so the bound still holds).
 from __future__ import annotations
 
 import bisect
-from typing import Any, Callable, List, Tuple
+from typing import Any, Callable, List, Optional, Tuple
 
+from ..backends.dispatch import np, numpy_enabled
 from ..mpc.distributed import Distributed
 
 __all__ = ["distributed_sort", "splitters_for"]
@@ -58,6 +59,10 @@ def distributed_sort(
     ``i < j``.  One data round (plus control traffic).
     """
     if not split_ties:
+        if numpy_enabled(dist.view):
+            vectorized = _sort_vec(dist, key_fn)
+            if vectorized is not None:
+                return vectorized
         splitters = splitters_for(dist, key_fn)
         routed = dist.repartition(
             lambda item: bisect.bisect_right(splitters, key_fn(item))
@@ -83,3 +88,90 @@ def distributed_sort(
         lambda part: sorted(part, key=lambda row: (row[0], row[1]))
     )
     return ordered.map_items(lambda row: row[2])
+
+
+#: int64 keys must convert exactly.
+_SORT_INT_LIMIT = 1 << 62
+
+
+def _scalar_keys(keys: List[Any]) -> Optional[Any]:
+    """The keys as a numeric array ordering identically to Python ``sorted``,
+    or None (non-scalar keys, mixed types, NaN, oversized ints).
+
+    1-tuples are unwrapped — comparing ``(k,)`` tuples is comparing ``k``.
+    """
+    scalars: List[Any] = []
+    for key in keys:
+        if isinstance(key, tuple):
+            if len(key) != 1:
+                return None
+            key = key[0]
+        if type(key) is bool:
+            return None
+        scalars.append(key)
+    if all(type(key) is int for key in scalars):
+        if any(not -_SORT_INT_LIMIT < key < _SORT_INT_LIMIT for key in scalars):
+            return None
+        return np.asarray(scalars, dtype=np.int64)
+    if all(type(key) is float for key in scalars):
+        if any(key != key for key in scalars):
+            return None
+        return np.asarray(scalars, dtype=np.float64)
+    return None
+
+
+def _sort_vec(dist: Distributed, key_fn: Callable[[Any], Any]) -> Optional[Distributed]:
+    """Vectorized no-tiebreak sample sort for numeric scalar (or 1-tuple)
+    keys: same samples, same splitters, same routing, same local order as
+    the bisect path — stable argsort reproduces Timsort's permutation.
+
+    Returns None (before any communication) when any part's keys are not
+    uniformly numeric.
+    """
+    from ..backends.kernels import select_splitters
+
+    view = dist.view
+    p = view.p
+    staged: List[Any] = []
+    for part in dist.parts:
+        arrays = _scalar_keys([key_fn(item) for item in part])
+        if arrays is None and part:
+            return None
+        staged.append(arrays)
+
+    sample_blocks: List[Any] = []
+    gathered = 0
+    for arrays in staged:
+        if arrays is None or arrays.shape[0] == 0:
+            continue
+        ordered = np.sort(arrays, kind="stable")
+        step = max(1, ordered.shape[0] // p)
+        block = ordered[::step][:p]
+        sample_blocks.append(block)
+        gathered += block.shape[0]
+    view.control_gather([None] * gathered)
+    if sample_blocks:
+        samples = np.sort(np.concatenate(sample_blocks), kind="stable")
+    else:
+        samples = np.empty(0, dtype=np.int64)
+    splitters = select_splitters(samples, p)
+    view.control_scatter(int(splitters.shape[0]))
+
+    outboxes: List[List[Tuple[int, Any]]] = []
+    for part, arrays in zip(dist.parts, staged):
+        if arrays is None or arrays.shape[0] == 0:
+            outboxes.append([])
+            continue
+        dests = np.searchsorted(splitters, arrays, side="right").tolist()
+        outboxes.append(list(zip(dests, part)))
+    inboxes = view.exchange(outboxes)
+
+    sorted_parts: List[List[Any]] = []
+    for inbox in inboxes:
+        arrays = _scalar_keys([key_fn(item) for item in inbox])
+        if arrays is None:
+            sorted_parts.append(sorted(inbox, key=key_fn))
+            continue
+        order = np.argsort(arrays, kind="stable").tolist()
+        sorted_parts.append([inbox[i] for i in order])
+    return Distributed(view, sorted_parts)

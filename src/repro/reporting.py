@@ -2,26 +2,20 @@
 
 The benchmark suite prints tables for humans; this module produces the
 same comparisons as *data* — for notebooks, CI dashboards, or the CLI.
-:func:`table1_report` reruns the paper's Table 1 on adversarial workload
-families at a configurable scale and returns one :class:`ComparisonRow`
-per query class; :func:`render_markdown` turns any row list into a
-markdown table.
+The measurement entry points moved to the :mod:`repro.api` facade
+(:func:`repro.api.compare`, :func:`repro.api.table1`); this module keeps
+the row data type, :func:`render_markdown`, and deprecated forwarders for
+the original import paths.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import asdict, dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
-from .core.executor import run_query
+from .api import TABLE1_FAMILIES
 from .data.query import Instance
-from .mpc.cluster import MPCCluster
-from .workloads import (
-    bowtie_line,
-    overlapping_star,
-    planted_out_matmul,
-    twig_instance,
-)
 
 __all__ = [
     "ComparisonRow",
@@ -64,37 +58,23 @@ def compare_on(
     p: int = 16,
     tracer: Optional[Any] = None,
 ) -> ComparisonRow:
-    """Run both algorithms on one instance and package the measurements.
+    """Deprecated forwarder to :func:`repro.api.compare`.
 
-    Raises ``AssertionError`` if the algorithms disagree (they never
-    should; this keeps report data trustworthy by construction).
-    ``tracer`` (a :class:`repro.obs.events.Tracer`) traces the paper
-    algorithm's run; its ``scope`` is set to ``label`` so events from
-    different instances sharing one sink stay distinguishable.
+    The facade returns the full pair of :class:`~repro.core.executor.QueryResult`
+    objects (reports included); this wrapper keeps the original contract —
+    one :class:`ComparisonRow`, ``AssertionError`` on disagreement.
     """
-    baseline = run_query(instance, p=p, algorithm="yannakakis")
-    cluster = None
-    if tracer is not None:
-        tracer.scope = label
-        cluster = MPCCluster(p, tracer=tracer)
-    ours = run_query(instance, p=p, cluster=cluster, algorithm="auto")
-    if baseline.relation.tuples != ours.relation.tuples:
-        raise AssertionError(f"algorithms disagree on {label!r}")
-    return ComparisonRow(
-        label=label,
-        query_class=ours.query_class,
-        input_size=instance.total_size,
-        out_size=ours.out_size,
-        baseline_load=baseline.report.max_load,
-        new_load=ours.report.max_load,
-        baseline_comm=baseline.report.total_communication,
-        new_comm=ours.report.total_communication,
-        rounds=ours.report.rounds,
+    warnings.warn(
+        "repro.reporting.compare_on is deprecated; use repro.api.compare "
+        "with an ExecutionConfig",
+        DeprecationWarning,
+        stacklevel=2,
     )
+    from .api import ExecutionConfig, compare
 
-
-#: Table-1 row labels in presentation order.
-TABLE1_FAMILIES = ("matmul", "line", "star", "tree")
+    return compare(
+        instance, ExecutionConfig(p=p, tracer=tracer), scope=label
+    ).row(label)
 
 
 def table1_report(
@@ -103,39 +83,23 @@ def table1_report(
     tracer: Optional[Any] = None,
     families: Optional[Sequence[str]] = None,
 ) -> List[ComparisonRow]:
-    """One adversarial instance per Table-1 row, measured.
+    """Deprecated forwarder to :func:`repro.api.table1`.
 
-    ``scale`` is the tuples-per-relation knob; families are the planted/
-    adversarial ones where the baseline's intermediate exceeds OUT (see
-    docs/paper_notes.md on why uniform-random data would show ties).
-    ``tracer`` traces every row's paper-algorithm run into one event
-    stream, scoped by the row label.  ``families`` selects a subset of
-    :data:`TABLE1_FAMILIES` (default all); an empty selection is legal and
-    returns no rows, and an unknown name raises ``ValueError`` rather than
-    silently measuring nothing.
+    Same rows, same measurements: the implementation moved to the facade,
+    which takes an :class:`~repro.config.ExecutionConfig` instead of loose
+    ``p``/``tracer`` keywords.
     """
-    builders: Sequence[tuple] = (
-        ("matmul", lambda: planted_out_matmul(n=scale, out=min(scale * scale, 64 * scale))),
-        ("line", lambda: bowtie_line(blocks=max(1, scale // 25), fan_out=25, fan_mid=64)),
-        ("star", lambda: overlapping_star(arms=3, centres=32, fan=max(2, scale // 32))),
-        ("tree", lambda: twig_instance(
-            tuples=scale,
-            domain=max(10, scale // 10, int(scale ** 0.5) + 2),
-            seed=1,
-        )),
+    warnings.warn(
+        "repro.reporting.table1_report is deprecated; use repro.api.table1 "
+        "with an ExecutionConfig",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    if families is None:
-        selected = builders
-    else:
-        unknown = sorted(set(families) - set(TABLE1_FAMILIES))
-        if unknown:
-            raise ValueError(
-                f"unknown Table-1 families {unknown}; "
-                f"choose from {', '.join(TABLE1_FAMILIES)}"
-            )
-        wanted = set(families)
-        selected = [entry for entry in builders if entry[0] in wanted]
-    return [compare_on(builder(), label, p=p, tracer=tracer) for label, builder in selected]
+    from .api import ExecutionConfig, table1
+
+    return table1(
+        scale=scale, config=ExecutionConfig(p=p, tracer=tracer), families=families
+    )
 
 
 def render_markdown(rows: Sequence[ComparisonRow]) -> str:

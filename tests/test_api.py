@@ -1,0 +1,161 @@
+"""The ``repro.api`` facade and :class:`ExecutionConfig`.
+
+One import surface for everything the CLI can do: six entry points with
+config-object signatures, loose-keyword compatibility behind
+``DeprecationWarning``, and the deprecated ``repro.reporting`` measurement
+paths forwarding to the facade with identical results.
+"""
+
+import warnings
+
+import pytest
+
+from repro import ExecutionConfig
+from repro import api
+from repro.conformance import FuzzConfig
+from repro.data import Relation
+from repro.workloads import line_instance, planted_out_matmul
+
+# ------------------------------------------------------------------ surface
+
+
+def test_facade_exposes_all_six_entrypoints():
+    for name in ("run_query", "compare", "sweep", "table1", "fuzz", "chaos"):
+        assert callable(getattr(api, name)), name
+        assert name in api.__all__
+
+
+def test_execution_config_validates():
+    with pytest.raises(ValueError):
+        ExecutionConfig(p=0)
+    with pytest.raises(ValueError):
+        ExecutionConfig(backend="fortran")
+    config = ExecutionConfig(p=4, backend="pytuple")
+    assert config.with_backend("auto").backend == "auto"
+    cluster = config.make_cluster()
+    assert cluster.p == 4 and cluster.backend == "pytuple"
+    # Frozen: configs are safe to share across runs.
+    with pytest.raises(AttributeError):
+        config.p = 2
+
+
+# ---------------------------------------------------------------- run_query
+
+
+def test_run_query_accepts_config():
+    instance = planted_out_matmul(n=40, out=160)
+    result = api.run_query(instance, ExecutionConfig(p=4))
+    assert result.algorithm == "line"
+    assert result.out_size == len(result.relation)
+
+
+def test_run_query_loose_kwargs_warn_and_apply():
+    instance = planted_out_matmul(n=40, out=160)
+    with pytest.warns(DeprecationWarning):
+        loose = api.run_query(instance, p=4, algorithm="yannakakis")
+    assert loose.algorithm == "yannakakis"
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        configured = api.run_query(
+            instance, ExecutionConfig(p=4, algorithm="yannakakis")
+        )
+    assert loose.relation.tuples == configured.relation.tuples
+    assert loose.report.to_dict() == configured.report.to_dict()
+
+
+def test_run_query_rejects_unknown_kwargs():
+    instance = planted_out_matmul(n=20, out=40)
+    with pytest.raises(TypeError):
+        api.run_query(instance, processors=4)
+
+
+# ----------------------------------------------------- compare/sweep/table1
+
+
+def test_compare_packages_both_runs():
+    instance = planted_out_matmul(n=60, out=240)
+    outcome = api.compare(instance, ExecutionConfig(p=8))
+    assert outcome.baseline.algorithm == "yannakakis"
+    assert outcome.ours.algorithm == "line"
+    assert outcome.baseline.relation.tuples == outcome.ours.relation.tuples
+    assert outcome.speedup > 0
+    row = outcome.row("matmul")
+    assert row.label == "matmul"
+    assert row.input_size == instance.total_size
+    assert row.new_load == outcome.ours.report.max_load
+
+
+def test_sweep_labels_points_in_order():
+    config = ExecutionConfig(p=4)
+    series = [
+        ("n=30", planted_out_matmul(n=30, out=60)),
+        ("n=50", planted_out_matmul(n=50, out=100)),
+    ]
+    results = api.sweep(series, config)
+    assert [label for label, _ in results] == ["n=30", "n=50"]
+    assert all(done.speedup > 0 for _, done in results)
+
+
+def test_table1_family_selection():
+    rows = api.table1(scale=40, config=ExecutionConfig(p=4), families=["matmul"])
+    assert [row.label for row in rows] == ["matmul"]
+    assert api.table1(scale=40, families=[]) == []
+    with pytest.raises(ValueError):
+        api.table1(scale=40, families=["matmul", "pentagon"])
+
+
+# ------------------------------------------------------------ fuzz / chaos
+
+
+def test_fuzz_override_kwargs():
+    summary = api.fuzz(iterations=2, seed=5, p=2, p_large=4)
+    assert summary.checked >= 2
+    assert summary.to_dict()["seed"] == 5
+
+
+def test_chaos_pins_invariants():
+    summary = api.chaos(FuzzConfig(iterations=2, seed=3, p=2, p_large=4))
+    coverage = summary.to_dict()["coverage"]["invariant"]
+    assert set(coverage) <= {"differential", "chaos"}
+
+
+# ------------------------------------------------- deprecated import paths
+
+
+def test_reporting_forwarders_warn_but_agree():
+    from repro import reporting
+
+    with pytest.warns(DeprecationWarning):
+        rows = reporting.table1_report(scale=30, p=4, families=["matmul"])
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        fresh = api.table1(scale=30, config=ExecutionConfig(p=4), families=["matmul"])
+    assert [row.to_dict() for row in rows] == [row.to_dict() for row in fresh]
+
+    instance = line_instance(3, 30, 8, seed=2)
+    with pytest.warns(DeprecationWarning):
+        row = reporting.compare_on(instance, "line", p=4)
+    assert row.label == "line"
+    assert row.to_dict() == api.compare(
+        instance, ExecutionConfig(p=4), scope="line"
+    ).row("line").to_dict()
+
+
+# ----------------------------------------------------- Relation memoization
+
+
+def test_relation_indexes_memoize_and_invalidate():
+    relation = Relation("R", ("A", "B"))
+    for i in range(20):
+        relation.add((i % 4, i), 1)
+    assert relation.degree("A", 0) == 5
+    assert relation.active_domain("A") == {0, 1, 2, 3}
+    column_before = relation.column("B")
+    # The returned column is a copy — mutating it must not corrupt the index.
+    column_before.append("junk")
+    assert relation.column("B") == [i for i in range(20)]
+    # add() invalidates: counts and domains reflect the new tuple.
+    relation.add((99, 99), 1)
+    assert relation.degree("A", 99) == 1
+    assert 99 in relation.active_domain("A")
+    assert relation.degree("A", 0) == 5
