@@ -1,0 +1,223 @@
+"""Planner regret harness: predicted vs measured load, per candidate.
+
+Sweeps the conformance generators' five query families × three skew
+profiles (moderate sizes — big enough that Table 1's terms separate, small
+enough for CI), and for every point:
+
+* asks the planner for its :class:`~repro.planner.Plan` (offline
+  statistics, the executor's ``algorithm="cost"`` path);
+* runs **every** scored candidate for real and records its measured load;
+* reports **regret** = measured(chosen) / min over candidates of measured
+  — 1.0 means the planner picked the true winner — and
+  **vs_auto** = measured(chosen) / measured(``algorithm="auto"``), the
+  ISSUE's acceptance metric (must stay ≤ 1.1, enforced by exit code).
+
+``--calibrate`` refits the cost-model constants first: for every
+``algorithm/query_class`` cell it takes the geometric mean of
+measured/raw-shape over the sweep and writes
+``src/repro/planner/calibration.json`` (the committed fit), then re-plans
+under the new constants so the emitted regret rows reflect them.
+
+Results land in ``BENCH_planner.json`` (repo root by default; no
+timestamps, so re-runs are byte-stable).  Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_planner.py [--tiny] [--calibrate]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import random
+import sys
+from typing import Any, Dict, List
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.config import ExecutionConfig
+from repro.conformance.generators import (
+    QUERY_FAMILIES,
+    SKEW_PROFILES,
+    GeneratorConfig,
+    materialize,
+    random_case,
+)
+from repro.core.executor import run_query
+from repro.planner import (
+    CALIBRATION_PATH,
+    collect_statistics,
+    invalidate_calibration_cache,
+    plan_query,
+)
+
+SWEEP_SEED = 2020  # PODS 2020 — fixed so the committed JSON is reproducible
+
+
+def sweep_cases(max_tuples: int, domain: int):
+    """One deterministic case per family × skew, counting semiring."""
+    config = GeneratorConfig(
+        max_tuples=max_tuples, domain=domain, profiles=("counting",),
+    )
+    rng = random.Random(SWEEP_SEED)
+    # random_case cycles families by index and draws skew from the rng; we
+    # want the full grid, so drive both axes explicitly and let the rng
+    # supply only the per-case seed.
+    cases = []
+    for family in QUERY_FAMILIES:
+        for skew in SKEW_PROFILES:
+            grid = GeneratorConfig(
+                max_tuples=max_tuples, domain=domain,
+                families=(family,), profiles=("counting",), skews=(skew,),
+            )
+            cases.append(random_case(rng, grid, 0))
+    del config
+    return cases
+
+
+def measure_point(case, p: int) -> Dict[str, Any]:
+    """Plan, then run every candidate (and ``auto``) for real."""
+    instance = materialize(case)
+    stats = collect_statistics(instance)
+    plan = plan_query(instance, p=p, statistics=stats)
+
+    measured: Dict[str, int] = {}
+    predicted: Dict[str, float] = {}
+    raw: Dict[str, float] = {}
+    for candidate in plan.candidates:
+        result = run_query(instance, config=ExecutionConfig(p=p, algorithm=candidate.algorithm))
+        measured[candidate.algorithm] = result.report.max_load
+        predicted[candidate.algorithm] = round(candidate.predicted_load, 3)
+        raw[candidate.algorithm] = round(candidate.raw_load, 3)
+    auto = run_query(instance, config=ExecutionConfig(p=p))
+
+    chosen = plan.algorithm
+    best_algorithm = min(measured, key=lambda name: (measured[name], name))
+    best = max(1, measured[best_algorithm])
+    chosen_load = max(1, measured[chosen])
+    auto_load = max(1, auto.report.max_load)
+    return {
+        "family": case.family,
+        "skew": case.skew,
+        "query_class": case.query_class,
+        "case_seed": case.seed,
+        "input_size": instance.total_size,
+        "p": p,
+        "out_estimate": round(stats.out_estimate, 3),
+        "out_provenance": stats.out_provenance,
+        "chosen": chosen,
+        "auto": auto.algorithm,
+        "predicted": predicted,
+        "raw_shape": raw,
+        "measured": measured,
+        "measured_auto": auto.report.max_load,
+        "best": best_algorithm,
+        "regret": round(chosen_load / best, 4),
+        "vs_auto": round(chosen_load / auto_load, 4),
+    }
+
+
+def fit_calibration(rows: List[Dict[str, Any]]) -> Dict[str, float]:
+    """Geometric-mean fit of measured/raw-shape per algorithm/query_class."""
+    logs: Dict[str, List[float]] = {}
+    for row in rows:
+        for algorithm, load in row["measured"].items():
+            shape = row["raw_shape"][algorithm]
+            if load <= 0 or shape <= 0:
+                continue
+            key = f"{algorithm}/{row['query_class']}"
+            logs.setdefault(key, []).append(math.log(load / shape))
+    return {
+        key: round(math.exp(sum(values) / len(values)), 4)
+        for key, values in sorted(logs.items())
+    }
+
+
+def write_calibration(constants: Dict[str, float]) -> None:
+    document = {
+        "note": (
+            "Fitted multipliers measured_load / table1_shape, geometric mean "
+            "over the bench_planner.py sweep; keys are algorithm/query_class. "
+            "Regenerate with: PYTHONPATH=src python benchmarks/bench_planner.py "
+            "--calibrate"
+        ),
+        "sweep_seed": SWEEP_SEED,
+        "constants": constants,
+    }
+    with open(CALIBRATION_PATH, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    invalidate_calibration_cache()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tiny", action="store_true",
+                        help="quick local-iteration scale; the committed "
+                        "calibration is fitted at full scale, so the 1.1x "
+                        "vs-auto gate is not enforced here")
+    parser.add_argument("--calibrate", action="store_true",
+                        help="refit and rewrite src/repro/planner/calibration.json "
+                        "before the reported sweep")
+    parser.add_argument("--p", type=int, default=8, help="number of servers")
+    parser.add_argument("--out", default=os.path.join(
+        os.path.dirname(__file__), "..", "BENCH_planner.json"),
+        metavar="PATH", help="result JSON destination (default: repo root)")
+    args = parser.parse_args(argv)
+
+    max_tuples, domain = (40, 8) if args.tiny else (160, 14)
+    cases = sweep_cases(max_tuples, domain)
+
+    if args.calibrate:
+        rows = [measure_point(case, args.p) for case in cases]
+        constants = fit_calibration(rows)
+        write_calibration(constants)
+        print(f"calibration written: {os.path.normpath(CALIBRATION_PATH)} "
+              f"({len(constants)} constants)")
+
+    rows = [measure_point(case, args.p) for case in cases]
+
+    worst_regret = max(row["regret"] for row in rows)
+    worst_vs_auto = max(row["vs_auto"] for row in rows)
+    document = {
+        "scale": "tiny" if args.tiny else "full",
+        "p": args.p,
+        "max_tuples": max_tuples,
+        "domain": domain,
+        "sweep_seed": SWEEP_SEED,
+        "worst_regret": worst_regret,
+        "worst_vs_auto": worst_vs_auto,
+        "rows": rows,
+    }
+    path = os.path.normpath(args.out)
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    print(f"{'family':<10} {'skew':<14} {'class':<12} {'chosen':<26} "
+          f"{'L(chosen)':>9} {'L(best)':>8} {'regret':>7} {'vs_auto':>8}")
+    for row in rows:
+        print(f"{row['family']:<10} {row['skew']:<14} {row['query_class']:<12} "
+              f"{row['chosen']:<26} {row['measured'][row['chosen']]:>9} "
+              f"{row['measured'][row['best']]:>8} {row['regret']:>7.2f} "
+              f"{row['vs_auto']:>8.2f}")
+    print(f"written: {path}  worst regret={worst_regret:.2f}  "
+          f"worst vs_auto={worst_vs_auto:.2f}")
+
+    if worst_vs_auto > 1.1:
+        if args.tiny:
+            # The committed constants are fitted at full scale; at toy
+            # sizes fixed overheads dominate and mispredictions are
+            # expected, so report but don't gate.
+            print("note: vs_auto gate not enforced at --tiny scale",
+                  file=sys.stderr)
+            return 0
+        print("FAIL: cost-based dispatch lost to auto by more than 1.1x",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,7 +8,11 @@ the command line can do, a notebook or test harness can do by importing
   :class:`~repro.config.ExecutionConfig` (accepts the historical loose
   keyword arguments with a ``DeprecationWarning``);
 * :func:`compare` — distributed Yannakakis baseline vs the paper's
-  algorithm on one instance, both cost reports packaged together;
+  algorithm (or any ``config.algorithm``, including the cost-based
+  planner's ``"cost"``) on one instance, both cost reports packaged
+  together;
+* :func:`explain` — the cost-based planner's candidate table for one
+  instance, without executing anything (:mod:`repro.planner`);
 * :func:`sweep` — :func:`compare` across a labelled series of instances;
 * :func:`table1` — the paper's Table 1 on adversarial workload families
   (moved here from :mod:`repro.reporting`, which keeps a deprecated
@@ -42,6 +46,7 @@ __all__ = [
     "TABLE1_FAMILIES",
     "run_query",
     "compare",
+    "explain",
     "sweep",
     "table1",
     "fuzz",
@@ -95,7 +100,7 @@ class CompareResult:
 
     #: The distributed Yannakakis run (Table 1's first column).
     baseline: QueryResult
-    #: The paper algorithm's run (``algorithm="auto"``).
+    #: The compared run — ``config.algorithm`` (``"auto"`` by default).
     ours: QueryResult
 
     @property
@@ -128,12 +133,16 @@ def compare(
     config: Optional[ExecutionConfig] = None,
     scope: Optional[str] = None,
 ) -> CompareResult:
-    """Run the baseline and the paper algorithm on ``instance``.
+    """Run the baseline and ``config.algorithm`` on ``instance``.
 
-    Raises ``AssertionError`` if the two disagree (they never should; this
-    keeps report data trustworthy by construction).  Only the paper
-    algorithm's run is traced when ``config.tracer`` is set — ``scope``
-    names it in the event stream, so several instances can share one sink.
+    The compared side honours ``config.algorithm`` (``"auto"`` — the
+    paper's per-class choice — by default; ``"cost"`` routes through the
+    planner; explicit names force one algorithm and raise ``ValueError``
+    when the query lacks the required shape).  Raises ``AssertionError``
+    if the two runs disagree (they never should; this keeps report data
+    trustworthy by construction).  Only the compared run is traced when
+    ``config.tracer`` is set — ``scope`` names it in the event stream, so
+    several instances can share one sink.
     """
     config = config or ExecutionConfig()
     baseline = _executor_run_query(
@@ -141,7 +150,7 @@ def compare(
     )
     if config.tracer is not None and scope is not None:
         config.tracer.scope = scope
-    ours = _executor_run_query(instance, config=replace(config, algorithm="auto"))
+    ours = _executor_run_query(instance, config=config)
     if baseline.relation.tuples != ours.relation.tuples:
         raise AssertionError(
             f"algorithms disagree on {scope or instance.query.classify()!r}"
@@ -165,6 +174,35 @@ def sweep(
         (label, compare(instance, config, scope=label))
         for label, instance in instances
     ]
+
+
+def explain(
+    instance: Instance,
+    config: Optional[ExecutionConfig] = None,
+) -> "Plan":
+    """The cost-based planner's decision for ``instance`` — no execution.
+
+    Returns the :class:`repro.planner.Plan` the executor would follow
+    under ``algorithm="cost"``: chosen algorithm, predicted load, every
+    candidate's score, and the statistics snapshot behind them.
+    ``config.stats_mode="in-model"`` collects the statistics on a
+    throwaway cluster so the plan reports their metered cost; the default
+    ``"offline"`` snapshot is free.  Deterministic: same instance, same
+    calibration file, byte-identical :meth:`~repro.planner.Plan.to_dict`.
+    """
+    from .planner import plan_query
+
+    config = config or ExecutionConfig()
+    view = None
+    if config.stats_mode == "in-model":
+        view = config.make_cluster(instance.total_size).view()
+    return plan_query(
+        instance,
+        p=config.p,
+        stats_mode=config.stats_mode,
+        view=view,
+        backend=config.backend,
+    )
 
 
 #: Table-1 row labels in presentation order.

@@ -4,11 +4,16 @@ Commands aimed at kicking the tires without writing code:
 
 * ``compare`` — generate an instance from one of the built-in workload
   families, run the distributed Yannakakis baseline and the paper's
-  algorithm, and print both cost reports side by side;
+  algorithm (or any ``--algorithm``, including the cost-based planner via
+  ``--algorithm cost``), and print both cost reports side by side;
 * ``sweep`` — the same across a sweep of the family's size knob (OUT for
   ``matmul``, ``--tuples`` for every other family), printing a
   Table-1-style series;
 * ``table1`` — the paper's Table 1 with measured loads;
+* ``explain`` — the cost-based planner's candidate table for one instance
+  (docs/planner.md), **without executing anything**: predicted load per
+  applicable algorithm, the chosen one, and the statistics behind the
+  decision (``--stats in-model`` meters the statistics collection);
 * ``trace`` — run one instance with the observability layer on: dump a
   JSONL trace (see docs/observability.md for the schema) and print an
   ASCII per-round × per-server load heatmap plus skew statistics;
@@ -123,9 +128,16 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--trace-out", default=None, metavar="PATH",
                        help="write a JSONL trace of the paper algorithm's run(s)")
 
+    def add_algorithm(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--algorithm", default="auto",
+                       help="what to run against the baseline: 'auto' (the "
+                       "paper's per-class choice), 'cost' (the cost-based "
+                       "planner), or an explicit algorithm name")
+
     compare = sub.add_parser("compare", help="baseline vs paper algorithm, one instance")
     add_common(compare)
     add_export(compare)
+    add_algorithm(compare)
 
     sweep = sub.add_parser(
         "sweep",
@@ -133,7 +145,21 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     add_common(sweep)
     add_export(sweep)
+    add_algorithm(sweep)
     sweep.add_argument("--points", type=int, default=4)
+
+    explain = sub.add_parser(
+        "explain",
+        help="print the cost-based planner's candidate table (no execution)",
+    )
+    add_common(explain)
+    explain.add_argument("--stats", choices=("offline", "in-model"),
+                         default="offline", dest="stats_mode",
+                         help="statistics collection mode (in-model meters "
+                         "the collection on a throwaway cluster)")
+    explain.add_argument("--json", action="store_true",
+                         help="print the full plan as JSON (byte-stable for "
+                         "a fixed instance and calibration)")
 
     table1 = sub.add_parser(
         "table1", help="reproduce the paper's Table 1 (one row per query class)"
@@ -231,12 +257,16 @@ def _command_compare(args: argparse.Namespace) -> int:
     if not args.json:
         print(f"family={args.family}  N={instance.total_size}  p={args.p}  "
               f"class={instance.query.classify()}")
-    config = ExecutionConfig(p=args.p, backend=args.backend, tracer=tracer)
+    config = ExecutionConfig(p=args.p, algorithm=args.algorithm,
+                             backend=args.backend, tracer=tracer)
     try:
         result = api.compare(instance, config, scope=args.family)
     except AssertionError:
         print("ERROR: algorithms disagree!", file=sys.stderr)
         return 1
+    except ValueError as error:
+        print(f"ERROR: {error}", file=sys.stderr)
+        return 2
     finally:
         if tracer is not None:
             tracer.close()
@@ -268,7 +298,8 @@ def _command_compare(args: argparse.Namespace) -> int:
 def _command_sweep(args: argparse.Namespace) -> int:
     """Sweep OUT for ``matmul``; sweep ``--tuples`` (doubling) otherwise."""
     tracer = _tracer_for(args)
-    config = ExecutionConfig(p=args.p, backend=args.backend, tracer=tracer)
+    config = ExecutionConfig(p=args.p, algorithm=args.algorithm,
+                             backend=args.backend, tracer=tracer)
     matmul = args.family == "matmul"
     knob_name = "OUT" if matmul else "tuples"
     points: List[Dict[str, Any]] = []
@@ -296,7 +327,13 @@ def _command_sweep(args: argparse.Namespace) -> int:
             tuples *= 2
 
     for scope, knob, instance in instances():
-        result = api.compare(instance, config, scope=scope)
+        try:
+            result = api.compare(instance, config, scope=scope)
+        except ValueError as error:
+            print(f"ERROR: {error}", file=sys.stderr)
+            if tracer is not None:
+                tracer.close()
+            return 2
         points.append({
             knob_name.lower(): knob,
             "input_size": instance.total_size,
@@ -358,6 +395,22 @@ def _command_table1(args: argparse.Namespace) -> int:
         )
     if args.trace_out:
         print(f"trace written to {args.trace_out}")
+    return 0
+
+
+def _command_explain(args: argparse.Namespace) -> int:
+    """Print the planner's candidate table for one instance, no execution."""
+    instance = _families()[args.family](args)
+    config = ExecutionConfig(p=args.p, backend=args.backend,
+                             stats_mode=args.stats_mode)
+    plan = api.explain(instance, config)
+    if args.json:
+        print(json.dumps(plan.to_dict(), indent=2, sort_keys=True))
+        return 0
+    print(f"family={args.family}  stats={plan.statistics.mode}"
+          + (f" (metered load {plan.statistics.metered_load})"
+             if plan.statistics.mode == "in-model" else ""))
+    print(plan.render())
     return 0
 
 
@@ -519,6 +572,8 @@ def main(argv=None) -> int:
         return _command_sweep(args)
     if args.command == "table1":
         return _command_table1(args)
+    if args.command == "explain":
+        return _command_explain(args)
     if args.command == "trace":
         return _command_trace(args)
     if args.command == "fuzz":

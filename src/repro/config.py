@@ -40,6 +40,10 @@ class ExecutionConfig:
     tracer: Optional[Any] = None
     fault_schedule: Optional[Any] = None
     validate: bool = False
+    #: How ``algorithm="cost"`` collects its planner statistics:
+    #: ``"offline"`` (free ANALYZE-style scan) or ``"in-model"`` (collected
+    #: on the cluster with metered load, charged to the run's report).
+    stats_mode: str = "offline"
 
     def __post_init__(self) -> None:
         if self.p < 1:
@@ -47,6 +51,11 @@ class ExecutionConfig:
         if self.backend is not None and self.backend not in BACKENDS:
             raise ValueError(
                 f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
+            )
+        if self.stats_mode not in ("offline", "in-model"):
+            raise ValueError(
+                f"unknown stats_mode {self.stats_mode!r}; "
+                "expected 'offline' or 'in-model'"
             )
 
     def with_backend(self, backend: Optional[str]) -> "ExecutionConfig":

@@ -17,7 +17,11 @@ Every invariant is a function ``check(case, config) -> None`` raising
   algorithms are O(1)-round for every fixed query);
 * ``opaque-discipline`` — algorithms run over
   :class:`~repro.testing.OpaqueSemiring` touch annotations only through
-  ⊕/⊗ and still produce the exact counting answer.
+  ⊕/⊗ and still produce the exact counting answer;
+* ``planner-choice`` (opt-in, like ``chaos`` — registered in
+  :data:`INVARIANTS` but not :data:`DEFAULT_INVARIANTS`) — cost-based
+  dispatch picks an algorithm from ``applicable_algorithms``, reproduces
+  the oracle exactly, and attaches a self-consistent plan to the report.
 """
 
 from __future__ import annotations
@@ -42,6 +46,7 @@ __all__ = [
     "check_permutation",
     "check_scaling",
     "check_opaque_discipline",
+    "check_planner_choice",
 ]
 
 #: Generous load-growth allowance for the scaling invariant: constants
@@ -277,15 +282,61 @@ def check_opaque_discipline(case: FuzzCase, config) -> None:
             )
 
 
+def check_planner_choice(case: FuzzCase, config) -> None:
+    """Cost-based dispatch is sound: legal choice, oracle-exact answer,
+    self-consistent plan metadata.
+
+    Opt-in (``repro fuzz --invariants differential planner-choice``): the
+    planner runs per case, so cycling it by default would slow every
+    campaign and — being registered but not in :data:`DEFAULT_INVARIANTS`
+    — would otherwise change default same-seed summaries.
+    """
+    instance = materialize(case)
+    expected = _result_map(evaluate(instance))
+    result = run_query(
+        instance, p=config.p, algorithm="cost", backend=_backend(config)
+    )
+    legal = applicable_algorithms(case.query)
+    if result.algorithm not in legal:
+        raise InvariantViolation(
+            "planner-choice",
+            result.algorithm,
+            f"planner chose {result.algorithm!r}, not one of {legal}",
+        )
+    if _result_map(result.relation) != expected:
+        raise InvariantViolation(
+            "planner-choice",
+            result.algorithm,
+            f"cost-based run disagrees with oracle over {case.profile}: "
+            f"{len(result.relation)} vs {len(expected)} tuples",
+        )
+    plan = result.report.plan
+    if not plan or plan.get("algorithm") != result.algorithm:
+        raise InvariantViolation(
+            "planner-choice",
+            result.algorithm,
+            f"report plan {plan!r} does not name the algorithm that ran",
+        )
+    ranked = [entry["algorithm"] for entry in plan.get("candidates", ())]
+    if ranked and ranked[0] != result.algorithm:
+        raise InvariantViolation(
+            "planner-choice",
+            result.algorithm,
+            f"plan candidates are not ranked chosen-first: {ranked}",
+        )
+
+
 #: Name → checker; the runner cycles through this catalog.  The chaos tier
 #: (:mod:`repro.conformance.chaos`) registers its ``"chaos"`` invariant
-#: here too, so corpus replay resolves it by name.
+#: here too, so corpus replay resolves it by name.  ``planner-choice`` is
+#: registered but opt-in (absent from :data:`DEFAULT_INVARIANTS`).
 INVARIANTS: Dict[str, Callable[[FuzzCase, Any], None]] = {
     "differential": check_differential,
     "homomorphism": check_homomorphism,
     "permutation": check_permutation,
     "scaling": check_scaling,
     "opaque-discipline": check_opaque_discipline,
+    "planner-choice": check_planner_choice,
 }
 
 #: The invariants a plain ``repro fuzz`` campaign cycles by default.  Kept

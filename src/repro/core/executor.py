@@ -40,7 +40,18 @@ __all__ = [
     "applicable_algorithms",
 ]
 
-Algorithm = Literal["auto", "yannakakis", "matmul", "line", "star", "star-like", "tree"]
+Algorithm = Literal[
+    "auto",
+    "cost",
+    "yannakakis",
+    "matmul",
+    "matmul-worst-case",
+    "matmul-output-sensitive",
+    "line",
+    "star",
+    "star-like",
+    "tree",
+]
 
 
 @dataclass
@@ -74,8 +85,13 @@ def run_query(
 
     ``algorithm="auto"`` picks the paper's new algorithm for the query's
     class — the second column of Table 1 — while ``"yannakakis"`` forces the
-    baseline (first column).  Explicit class names force that algorithm and
-    raise if the query does not have the required shape.
+    baseline (first column).  ``algorithm="cost"`` asks the cost-based
+    planner (:mod:`repro.planner`) to pick: it scores every applicable
+    algorithm with the calibrated Table 1 cost models and the run carries
+    the decision in ``report.plan`` (``config.stats_mode="in-model"``
+    collects the planner's statistics on the cluster, metered).  Explicit
+    names force that algorithm and raise if the query does not have the
+    required shape.
 
     ``config`` (an :class:`~repro.config.ExecutionConfig`) supplies every
     knob not given explicitly; explicit arguments win.  ``backend`` selects
@@ -107,12 +123,30 @@ def run_query(
     query_class = query.classify()
 
     chosen = algorithm
+    plan = None
     if algorithm == "auto":
         chosen = AUTO_CHOICE[query_class]
+    elif algorithm == "cost":
+        from ..planner import plan_query
+
+        stats_mode = getattr(config, "stats_mode", "offline") if config else "offline"
+        plan = plan_query(
+            instance,
+            p=cluster.p,
+            stats_mode=stats_mode,
+            view=view if stats_mode == "in-model" else None,
+            backend=cluster.backend,
+        )
+        chosen = plan.algorithm
 
     tracer = cluster.tracker.tracer
     if tracer is not None:
         tracer.label = chosen
+        if plan is not None:
+            # Header event: why this algorithm ran (not load-bearing — the
+            # "plan" op is outside LOAD_OPS, so trace-rebuilt aggregates
+            # are untouched).
+            tracer.emit("plan", -1, (), detail=plan.summary())
 
     distributed = _dispatch(chosen, instance, view)
     out_schema = tuple(sorted(query.output))
@@ -128,9 +162,13 @@ def run_query(
                 f"distributed result disagrees with the oracle: "
                 f"{len(relation)} vs {len(expected)} tuples"
             )
+    report = cluster.report()
+    report.algorithm = chosen
+    if plan is not None:
+        report.plan = plan.summary()
     return QueryResult(
         relation=relation,
-        report=cluster.report(),
+        report=report,
         query_class=query_class,
         algorithm=chosen,
     )
@@ -159,7 +197,10 @@ def _run_yannakakis(
 
 
 def _run_line(
-    instance: Instance, view: ClusterView, loaded: Dict[str, DistRelation]
+    instance: Instance,
+    view: ClusterView,
+    loaded: Dict[str, DistRelation],
+    matmul_strategy: str = "auto",
 ) -> DistRelation:
     query = instance.query
     order = query.path_order()
@@ -167,7 +208,20 @@ def _run_line(
         loaded[_rel_between(query, order[i], order[i + 1])]
         for i in range(len(order) - 1)
     ]
-    return line_query(rels, order, instance.semiring)
+    return line_query(rels, order, instance.semiring,
+                      matmul_strategy=matmul_strategy)
+
+
+def _run_matmul_worst_case(
+    instance: Instance, view: ClusterView, loaded: Dict[str, DistRelation]
+) -> DistRelation:
+    return _run_line(instance, view, loaded, matmul_strategy="worst-case")
+
+
+def _run_matmul_output_sensitive(
+    instance: Instance, view: ClusterView, loaded: Dict[str, DistRelation]
+) -> DistRelation:
+    return _run_line(instance, view, loaded, matmul_strategy="output-sensitive")
 
 
 def _run_star(
@@ -213,7 +267,19 @@ ALGORITHMS: Dict[str, AlgorithmSpec] = {
             "matmul",
             lambda query: query.is_matmul(),
             _run_line,
-            "a line query",
+            "a matmul (two-relation line) query",
+        ),
+        AlgorithmSpec(
+            "matmul-worst-case",
+            lambda query: query.is_matmul(),
+            _run_matmul_worst_case,
+            "a matmul (two-relation line) query",
+        ),
+        AlgorithmSpec(
+            "matmul-output-sensitive",
+            lambda query: query.is_matmul(),
+            _run_matmul_output_sensitive,
+            "a matmul (two-relation line) query",
         ),
         AlgorithmSpec(
             "line",
@@ -267,9 +333,16 @@ def _dispatch(chosen: str, instance: Instance, view: ClusterView) -> DistRelatio
     query = instance.query
     spec = ALGORITHMS.get(chosen)
     if spec is None:
-        raise ValueError(f"unknown algorithm {chosen!r}")
+        raise ValueError(
+            f"unknown algorithm {chosen!r}; registered: "
+            f"{', '.join(ALGORITHMS)} (plus the 'auto' and 'cost' dispatchers)"
+        )
     if not spec.applies(query):
-        raise ValueError(f"query is not {spec.requirement}: {query.classify()}")
+        raise ValueError(
+            f"algorithm {chosen!r} needs {spec.requirement}, but this query "
+            f"is {query.classify()}; applicable here: "
+            f"{', '.join(applicable_algorithms(query))}"
+        )
     loaded: Dict[str, DistRelation] = {
         name: DistRelation.load(view, instance.relation(name))
         for name, _ in query.relations

@@ -37,10 +37,16 @@ def line_query(
     attrs: Sequence[str],
     semiring: Semiring,
     salt: int = 0,
+    matmul_strategy: str = "auto",
 ) -> DistRelation:
     """Evaluate the line query; result over ``(attrs[0], attrs[-1])``.
 
     ``relations[i]`` must contain attributes ``(attrs[i], attrs[i+1])``.
+    ``matmul_strategy`` forces the :func:`~repro.core.matmul.sparse_matmul`
+    strategy of the two-relation case (the executor's
+    ``matmul-worst-case``/``matmul-output-sensitive`` entries); longer
+    lines ignore it — their internal matmul steps are part of the §4
+    algorithm, not a dispatch choice.
     """
     if len(relations) != len(attrs) - 1 or len(relations) < 1:
         raise ValueError("need m relations for m+1 line attributes")
@@ -53,7 +59,8 @@ def line_query(
     relations = _reduce_line(relations, attrs)
     if len(relations) == 2:
         return sparse_matmul(
-            relations[0], relations[1], semiring, reduce_dangling=False, salt=salt
+            relations[0], relations[1], semiring, strategy=matmul_strategy,
+            reduce_dangling=False, salt=salt,
         )
 
     tracker = relations[0].view.tracker

@@ -54,6 +54,12 @@ class CostReport:
     recovery_load: int = 0
     recovery_communication: int = 0
     recovery_rounds: int = 0
+    #: Resolved algorithm after ``auto``/``cost`` dispatch — stamped by the
+    #: executor ("" for reports built outside it, e.g. from traces).
+    algorithm: str = ""
+    #: Planner decision summary (:meth:`repro.planner.Plan.summary`), set
+    #: only on ``algorithm="cost"`` runs.
+    plan: Optional[Dict[str, Any]] = None
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -67,7 +73,9 @@ class CostReport:
         """JSON-serializable dict (inverse of :meth:`from_dict`).
 
         Recovery fields appear only when a fault actually charged them, so
-        fault-free exports stay byte-identical to pre-fault-injection runs.
+        fault-free exports stay byte-identical to pre-fault-injection runs;
+        likewise ``algorithm``/``plan`` appear only when the executor
+        stamped them.
         """
         record = {
             "max_load": self.max_load,
@@ -81,6 +89,10 @@ class CostReport:
             record["recovery_load"] = self.recovery_load
             record["recovery_communication"] = self.recovery_communication
             record["recovery_rounds"] = self.recovery_rounds
+        if self.algorithm:
+            record["algorithm"] = self.algorithm
+        if self.plan is not None:
+            record["plan"] = self.plan
         return record
 
     @classmethod
@@ -98,6 +110,8 @@ class CostReport:
             recovery_load=int(record.get("recovery_load", 0)),
             recovery_communication=int(record.get("recovery_communication", 0)),
             recovery_rounds=int(record.get("recovery_rounds", 0)),
+            algorithm=str(record.get("algorithm", "")),
+            plan=record.get("plan"),
         )
 
 

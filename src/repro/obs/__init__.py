@@ -20,6 +20,7 @@ from .events import (
     FAULT_OPS,
     JsonlSink,
     LOAD_OPS,
+    PLAN_OP,
     RingBufferSink,
     TraceEvent,
     TraceSink,
@@ -56,6 +57,7 @@ __all__ = [
     "CallbackSink",
     "LOAD_OPS",
     "FAULT_OPS",
+    "PLAN_OP",
     "event_to_dict",
     "event_from_dict",
     "SkewStats",

@@ -32,6 +32,7 @@ __all__ = [
     "event_from_dict",
     "LOAD_OPS",
     "FAULT_OPS",
+    "PLAN_OP",
 ]
 
 #: Operations whose ``received`` counts are charged against the load meter.
@@ -44,6 +45,13 @@ LOAD_OPS = frozenset({"exchange", "broadcast", "gather", "transfer"})
 #: load-bearing ``received`` counts, so trace aggregation of the base ``L``
 #: is unaffected by chaos runs.
 FAULT_OPS = frozenset({"fault", "recovery", "checkpoint"})
+
+#: Planner header event (:mod:`repro.planner`): the executor emits one
+#: ``plan`` event (round ``-1``, no servers, the plan summary in
+#: ``detail``) at the start of an ``algorithm="cost"`` run, recording *why*
+#: the traced algorithm was chosen.  Like :data:`FAULT_OPS` it is outside
+#: :data:`LOAD_OPS`, so trace-rebuilt aggregates ignore it.
+PLAN_OP = "plan"
 
 
 @dataclass(frozen=True)

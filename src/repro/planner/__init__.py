@@ -1,0 +1,45 @@
+"""Cost-based query planner (docs/planner.md).
+
+Statistics catalog → calibrated Table 1 cost models → plan enumerator.
+``plan_query`` is the entry point; the executor's ``algorithm="cost"``
+dispatch and the ``repro explain`` subcommand are thin wrappers over it.
+"""
+
+from .cost import (
+    CALIBRATION_PATH,
+    COST_MODELS,
+    calibration_constant,
+    invalidate_calibration_cache,
+    load_calibration,
+    predict_load,
+    raw_load,
+)
+from .plan import CandidateScore, Plan, plan_query, rooting_score
+from .stats import (
+    QueryStatistics,
+    RelationStats,
+    StatisticsCatalog,
+    collect_statistics,
+    collect_statistics_in_model,
+    estimate_out,
+)
+
+__all__ = [
+    "CALIBRATION_PATH",
+    "COST_MODELS",
+    "CandidateScore",
+    "Plan",
+    "QueryStatistics",
+    "RelationStats",
+    "StatisticsCatalog",
+    "calibration_constant",
+    "collect_statistics",
+    "collect_statistics_in_model",
+    "estimate_out",
+    "invalidate_calibration_cache",
+    "load_calibration",
+    "plan_query",
+    "predict_load",
+    "raw_load",
+    "rooting_score",
+]
