@@ -22,8 +22,10 @@ All inputs are int64 code arrays from a :class:`~.columnar.ValueCodec`.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Sequence, Tuple
+import functools
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
+from ..obs import profile as _profile
 from .dispatch import np
 
 __all__ = [
@@ -42,6 +44,44 @@ __all__ = [
 _PACK_LIMIT = 1 << 62
 
 
+def _rows(args: Tuple[Any, ...]) -> int:
+    """Row count of the first array argument (the kernel's input size)."""
+    return int(args[0].shape[0])
+
+
+def _profiled(items_fn: Callable[[Tuple[Any, ...]], int] = _rows):
+    """Record each call of the wrapped kernel as a profiler ``kernel`` span.
+
+    The active profiler is the one the executor activated for the current
+    run (:func:`repro.obs.profile.activate`); with none active — the
+    default — the wrapper costs one module-attribute load and one ``None``
+    check, and the kernel's behaviour is untouched.  ``items_fn`` maps the
+    call's positional arguments to the item count credited to the span.
+    """
+
+    def decorate(fn):
+        label = fn.__name__
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            profiler = _profile._ACTIVE
+            if profiler is None:
+                return fn(*args, **kwargs)
+            profiler.start(label, kind="kernel", backend="numpy")
+            try:
+                result = fn(*args, **kwargs)
+            except BaseException:
+                profiler.stop()
+                raise
+            profiler.stop(items=items_fn(args))
+            return result
+
+        return wrapper
+
+    return decorate
+
+
+@_profiled()
 def group_reduce(ids: Any, values: Any, add_ufunc: Any) -> Tuple[Any, Any]:
     """⊕-fold ``values`` per id — the dict-fold kernel, vectorized.
 
@@ -105,6 +145,7 @@ def _group_sum_bincount(ids: Any, values: Any, n: int) -> Optional[Tuple[Any, An
     return unique, sums[unique].astype(np.int64)
 
 
+@_profiled()
 def first_occurrence_unique(ids: Any) -> Any:
     """Unique ids in first-occurrence order (= ``dict.fromkeys`` order)."""
     if ids.shape[0] == 0:
@@ -151,6 +192,7 @@ def segment_gather(starts: Any, counts: Any) -> Any:
     )
 
 
+@_profiled(lambda args: int(args[0].shape[0]) + int(args[1].shape[0]))
 def hash_join(left_ids: Any, right_ids: Any, outer: str = "right") -> Tuple[Any, Any]:
     """Positions of every elementary product, in the tuple kernels' order.
 
@@ -184,6 +226,7 @@ def hash_join(left_ids: Any, right_ids: Any, outer: str = "right") -> Tuple[Any,
     return probe_stream, build_stream
 
 
+@_profiled(lambda args: int(args[0][0].shape[0]) if len(args[0]) else int(args[2]))
 def combine_columns(
     columns: Sequence[Any], base: int, size: int
 ) -> Tuple[Optional[Any], int]:
@@ -208,6 +251,7 @@ def combine_columns(
     return packed, base
 
 
+@_profiled()
 def split_codes(packed: Any, base: int, width: int) -> List[Any]:
     """Inverse of :func:`combine_columns`: per-column code arrays."""
     if width == 0:
@@ -222,11 +266,13 @@ def split_codes(packed: Any, base: int, width: int) -> List[Any]:
     return columns
 
 
+@_profiled()
 def isin_filter(ids: Any, allowed: Any) -> Any:
     """Boolean membership mask (vectorized semijoin filter)."""
     return np.isin(ids, allowed)
 
 
+@_profiled()
 def select_splitters(samples: Any, p: int) -> Any:
     """The regular-sampling splitter pick over gathered (sorted) samples:
     ``samples[step::step][: p - 1]`` with ``step = max(1, len // p)``."""

@@ -16,7 +16,14 @@ Commands aimed at kicking the tires without writing code:
   decision (``--stats in-model`` meters the statistics collection);
 * ``trace`` — run one instance with the observability layer on: dump a
   JSONL trace (see docs/observability.md for the schema) and print an
-  ASCII per-round × per-server load heatmap plus skew statistics;
+  ASCII per-round × per-server load heatmap plus skew statistics
+  (``--phase``/``--op`` narrow the analysis, ``--top N`` adds a per-phase
+  load table);
+* ``profile`` — run one instance under the wall-clock profiler
+  (docs/observability.md): print a hotspot table (self/cumulative seconds
+  per phase × op × backend) and write a speedscope flamegraph JSON;
+  ``--chrome-out`` adds a Chrome/Perfetto trace, ``--metrics-out`` a
+  Prometheus text-format metrics snapshot;
 * ``fuzz`` — run a conformance fuzzing campaign (differential oracle +
   metamorphic invariants, docs/conformance.md): deterministic per seed,
   shrinks failures to minimal repros and optionally serializes them to a
@@ -27,10 +34,13 @@ Commands aimed at kicking the tires without writing code:
   unrecoverable schedule that must fail loudly.
 
 ``compare``/``sweep``/``table1`` accept ``--json`` (machine-readable
-output on stdout) and ``--trace-out PATH`` (JSONL trace of the paper
-algorithm's runs).  Every command takes ``--backend`` to select the kernel
-implementation (``pytuple``/``numpy``/``auto``) — outputs are identical
-across backends, only wall-clock differs.
+output on stdout), ``--trace-out PATH`` (JSONL trace of the paper
+algorithm's runs), and ``--profile`` / ``--profile-out PATH`` (wall-clock
+hotspot table / speedscope profile of every run the command makes; with
+profiling off the outputs are byte-identical to earlier releases).  Every
+command takes ``--backend`` to select the kernel implementation
+(``pytuple``/``numpy``/``auto``) — outputs are identical across backends,
+only wall-clock differs.
 
 The commands are thin argparse shells: all the work happens in
 :mod:`repro.api`, so anything printed here is available as structured data
@@ -57,13 +67,19 @@ from .conformance import (
 from .data.query import Instance
 from .obs import (
     JsonlSink,
+    MetricsRegistry,
+    Profiler,
     RingBufferSink,
     Tracer,
     load_matrix_from_events,
+    observe_profile,
+    observe_report,
     per_round_stats,
+    phase_loads_from_events,
     render_heatmap,
     skew_stats,
 )
+from .obs.profile import write_json
 from .workloads import (
     bowtie_line,
     line_instance,
@@ -127,6 +143,12 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="print a machine-readable JSON document instead of tables")
         p.add_argument("--trace-out", default=None, metavar="PATH",
                        help="write a JSONL trace of the paper algorithm's run(s)")
+        p.add_argument("--profile", action="store_true",
+                       help="record wall-clock spans over every run and print "
+                       "a hotspot table (answers and meters are unchanged)")
+        p.add_argument("--profile-out", default=None, metavar="PATH",
+                       help="write a speedscope flamegraph JSON of the runs "
+                       "(implies --profile)")
 
     def add_algorithm(p: argparse.ArgumentParser) -> None:
         p.add_argument("--algorithm", default="auto",
@@ -183,6 +205,38 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="JSONL trace destination (default: %(default)s)")
     trace.add_argument("--json", action="store_true",
                        help="print the run summary as JSON instead of the heatmap")
+    trace.add_argument("--phase", default=None, metavar="SUBSTR",
+                       help="analyse only events whose phase path contains "
+                       "SUBSTR (the JSONL file still holds every event)")
+    trace.add_argument("--op", default=None, metavar="OP",
+                       help="analyse only events of this operation "
+                       "(exchange/broadcast/gather/transfer/...)")
+    trace.add_argument("--top", type=int, default=0, metavar="N",
+                       help="also print the N highest-load phase paths")
+
+    profile = sub.add_parser(
+        "profile",
+        help="run one instance under the wall-clock profiler: hotspot table "
+        "+ speedscope flamegraph JSON",
+    )
+    add_common(profile)
+    add_algorithm(profile)
+    profile.add_argument("--profile-out", default="repro-profile.speedscope.json",
+                         metavar="PATH",
+                         help="speedscope JSON destination (default: %(default)s)")
+    profile.add_argument("--chrome-out", default=None, metavar="PATH",
+                         help="also write a Chrome about://tracing / Perfetto "
+                         "trace JSON")
+    profile.add_argument("--metrics-out", default=None, metavar="PATH",
+                         help="also write a Prometheus text-format metrics "
+                         "snapshot of the profile")
+    profile.add_argument("--top", type=int, default=15,
+                         help="hotspot rows to print (default: %(default)s)")
+    profile.add_argument("--tree", action="store_true",
+                         help="print the full span tree instead of the "
+                         "hotspot table")
+    profile.add_argument("--json", action="store_true",
+                         help="print the profile summary as JSON")
 
     def add_campaign(p: argparse.ArgumentParser, iterations: int) -> None:
         p.add_argument("--iterations", type=int, default=iterations,
@@ -251,14 +305,59 @@ def _tracer_for(args: argparse.Namespace) -> Optional[Tracer]:
     return Tracer([JsonlSink(args.trace_out)])
 
 
+def _profiler_for(args: argparse.Namespace) -> Optional[Profiler]:
+    """A :class:`Profiler` when ``--profile``/``--profile-out`` was given.
+
+    ``None`` otherwise, which keeps the command's output byte-identical to
+    a build without the profiler at all.
+    """
+    if getattr(args, "profile", False) or getattr(args, "profile_out", None):
+        return Profiler()
+    return None
+
+
+def _finish_profile(args: argparse.Namespace, profiler: Optional[Profiler],
+                    top: int = 15) -> Optional[Dict[str, Any]]:
+    """Write ``--profile-out`` and build the profile's JSON payload.
+
+    Returns ``None`` when profiling was off — callers only attach the
+    ``"profile"`` key (or print the hotspot table) when a payload exists,
+    so the default output stays unchanged.
+    """
+    if profiler is None:
+        return None
+    if args.profile_out:
+        write_json(profiler.to_speedscope(name=f"repro {args.command}"),
+                   args.profile_out)
+    return {
+        "total_wall_s": profiler.total_wall,
+        "hotspots": [row.to_dict() for row in profiler.hotspots(top)],
+        "profile_out": args.profile_out,
+    }
+
+
+def _print_profile(args: argparse.Namespace, profiler: Optional[Profiler],
+                   top: int = 15) -> None:
+    """Human-readable tail of a ``--profile`` run (hotspots + file notes)."""
+    if profiler is None:
+        return
+    print()
+    print(f"wall-clock profile ({profiler.total_wall:.3f}s total):")
+    print(profiler.render_hotspots(top))
+    if args.profile_out:
+        print(f"speedscope profile written to {args.profile_out}")
+
+
 def _command_compare(args: argparse.Namespace) -> int:
     instance = _families()[args.family](args)
     tracer = _tracer_for(args)
+    profiler = _profiler_for(args)
     if not args.json:
         print(f"family={args.family}  N={instance.total_size}  p={args.p}  "
               f"class={instance.query.classify()}")
     config = ExecutionConfig(p=args.p, algorithm=args.algorithm,
-                             backend=args.backend, tracer=tracer)
+                             backend=args.backend, tracer=tracer,
+                             profiler=profiler)
     try:
         result = api.compare(instance, config, scope=args.family)
     except AssertionError:
@@ -272,8 +371,9 @@ def _command_compare(args: argparse.Namespace) -> int:
             tracer.close()
     baseline, ours = result.baseline, result.ours
     speedup = result.speedup
+    payload = _finish_profile(args, profiler)
     if args.json:
-        print(json.dumps({
+        document = {
             "family": args.family,
             "p": args.p,
             "input_size": instance.total_size,
@@ -284,7 +384,10 @@ def _command_compare(args: argparse.Namespace) -> int:
             "ours": ours.report.to_dict(),
             "speedup": speedup,
             "trace_out": args.trace_out,
-        }, indent=2))
+        }
+        if payload is not None:
+            document["profile"] = payload
+        print(json.dumps(document, indent=2))
         return 0
     print(f"OUT={ours.out_size}")
     _print_report("distributed Yannakakis (baseline)", baseline)
@@ -292,14 +395,17 @@ def _command_compare(args: argparse.Namespace) -> int:
     print(f"load speedup: {speedup:.2f}×")
     if args.trace_out:
         print(f"trace written to {args.trace_out}")
+    _print_profile(args, profiler)
     return 0
 
 
 def _command_sweep(args: argparse.Namespace) -> int:
     """Sweep OUT for ``matmul``; sweep ``--tuples`` (doubling) otherwise."""
     tracer = _tracer_for(args)
+    profiler = _profiler_for(args)
     config = ExecutionConfig(p=args.p, algorithm=args.algorithm,
-                             backend=args.backend, tracer=tracer)
+                             backend=args.backend, tracer=tracer,
+                             profiler=profiler)
     matmul = args.family == "matmul"
     knob_name = "OUT" if matmul else "tuples"
     points: List[Dict[str, Any]] = []
@@ -347,14 +453,18 @@ def _command_sweep(args: argparse.Namespace) -> int:
     if not points:
         return 1
 
+    payload = _finish_profile(args, profiler)
     if args.json:
-        print(json.dumps({
+        document = {
             "family": args.family,
             "p": args.p,
             "knob": knob_name.lower(),
             "points": points,
             "trace_out": args.trace_out,
-        }, indent=2))
+        }
+        if payload is not None:
+            document["profile"] = payload
+        print(json.dumps(document, indent=2))
         return 0
     print(f"{knob_name:>10} {'L(yann)':>10} {'L(ours)':>10} {'speedup':>8}")
     for point in points:
@@ -362,13 +472,16 @@ def _command_sweep(args: argparse.Namespace) -> int:
               f"{point['new_load']:>10} {point['speedup']:>8.2f}")
     if args.trace_out:
         print(f"trace written to {args.trace_out}")
+    _print_profile(args, profiler)
     return 0
 
 
 def _command_table1(args: argparse.Namespace) -> int:
     """One adversarial instance per Table-1 row, baseline vs new algorithm."""
     tracer = _tracer_for(args)
-    config = ExecutionConfig(p=args.p, backend=args.backend, tracer=tracer)
+    profiler = _profiler_for(args)
+    config = ExecutionConfig(p=args.p, backend=args.backend, tracer=tracer,
+                             profiler=profiler)
     try:
         rows = api.table1(scale=args.scale, config=config, families=args.families)
     except (AssertionError, ValueError) as error:
@@ -377,13 +490,17 @@ def _command_table1(args: argparse.Namespace) -> int:
     finally:
         if tracer is not None:
             tracer.close()
+    payload = _finish_profile(args, profiler)
     if args.json:
-        print(json.dumps({
+        document = {
             "p": args.p,
             "scale": args.scale,
             "rows": [row.to_dict() for row in rows],
             "trace_out": args.trace_out,
-        }, indent=2))
+        }
+        if payload is not None:
+            document["profile"] = payload
+        print(json.dumps(document, indent=2))
         return 0
     print(f"Table 1 reproduction (p={args.p}, scale={args.scale}); "
           f"loads are measured\n")
@@ -395,6 +512,7 @@ def _command_table1(args: argparse.Namespace) -> int:
         )
     if args.trace_out:
         print(f"trace written to {args.trace_out}")
+    _print_profile(args, profiler)
     return 0
 
 
@@ -434,13 +552,23 @@ def _command_trace(args: argparse.Namespace) -> int:
 
     report = result.report
     events = ring.events
+    filtered = args.phase is not None or args.op is not None
+    if filtered:
+        events = [
+            event for event in events
+            if (args.op is None or event.op == args.op)
+            and (args.phase is None or args.phase in "/".join(event.phase))
+        ]
+    phase_loads = sorted(
+        phase_loads_from_events(events).items(), key=lambda kv: (-kv[1], kv[0])
+    )[: args.top] if args.top > 0 else []
     matrix, servers = load_matrix_from_events(events)
     rounds = per_round_stats(matrix)
     overall = skew_stats([value for row in matrix for value in row])
     peak_round = max(range(len(rounds)), key=lambda r: rounds[r].max, default=0)
 
     if args.json:
-        print(json.dumps({
+        document = {
             "family": args.family,
             "p": args.p,
             "algorithm": result.algorithm,
@@ -453,15 +581,29 @@ def _command_trace(args: argparse.Namespace) -> int:
             "per_round": [stats.to_dict() for stats in rounds],
             "overall_skew": overall.to_dict(),
             "peak_round": peak_round,
-        }, indent=2))
+        }
+        if filtered:
+            document["filters"] = {"phase": args.phase, "op": args.op}
+        if args.top > 0:
+            document["phase_loads"] = [
+                {"phase": path, "max_load": load} for path, load in phase_loads
+            ]
+        print(json.dumps(document, indent=2))
         return 0
 
     print(f"family={args.family}  N={instance.total_size}  p={args.p}  "
           f"algorithm={result.algorithm}  OUT={result.out_size}")
     print(f"load L={report.max_load}  comm={report.total_communication}  "
           f"rounds={report.rounds}  products={report.elementary_products}")
+    if filtered:
+        shown = []
+        if args.phase is not None:
+            shown.append(f"phase~{args.phase!r}")
+        if args.op is not None:
+            shown.append(f"op={args.op}")
+        print(f"filters: {' '.join(shown)}  ({len(events)} matching events)")
     if args.trace_out:
-        print(f"trace: {len(events)} events -> {args.trace_out}")
+        print(f"trace: {len(ring.events)} events -> {args.trace_out}")
     print()
     print(render_heatmap(matrix, servers))
     print()
@@ -473,6 +615,72 @@ def _command_trace(args: argparse.Namespace) -> int:
         print("phase loads: " + "  ".join(
             f"{label}={load}" for label, load in report.phases
         ))
+    if args.top > 0:
+        print()
+        print(f"top {len(phase_loads)} phase paths by max per-server load:")
+        width = max((len(path) for path, _ in phase_loads), default=5)
+        for path, load in phase_loads:
+            print(f"  {path:<{width}}  {load}")
+    return 0
+
+
+def _command_profile(args: argparse.Namespace) -> int:
+    """Run one instance under the profiler; hotspots + flamegraph exports."""
+    instance = _families()[args.family](args)
+    profiler = Profiler()
+    config = ExecutionConfig(p=args.p, algorithm=args.algorithm,
+                             backend=args.backend, profiler=profiler)
+    try:
+        result = api.run_query(instance, config)
+    except (KeyError, ValueError) as error:
+        print(f"ERROR: cannot run {args.algorithm!r} on family "
+              f"{args.family!r}: {error}", file=sys.stderr)
+        return 2
+
+    name = f"{args.family} p={args.p} backend={args.backend}"
+    write_json(profiler.to_speedscope(name=name), args.profile_out)
+    if args.chrome_out:
+        write_json(profiler.to_chrome_trace(), args.chrome_out)
+    if args.metrics_out:
+        registry = MetricsRegistry()
+        observe_profile(registry, profiler)
+        observe_report(registry, result.report, scope=args.family)
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(registry.render())
+
+    if args.json:
+        print(json.dumps({
+            "family": args.family,
+            "p": args.p,
+            "backend": args.backend,
+            "algorithm": result.algorithm,
+            "query_class": result.query_class,
+            "input_size": instance.total_size,
+            "out_size": result.out_size,
+            "report": result.report.to_dict(),
+            "total_wall_s": profiler.total_wall,
+            "hotspots": [row.to_dict() for row in profiler.hotspots(args.top)],
+            "tree": [child.to_dict()
+                     for child in profiler.root.children.values()],
+            "profile_out": args.profile_out,
+            "chrome_out": args.chrome_out,
+            "metrics_out": args.metrics_out,
+        }, indent=2))
+        return 0
+
+    print(f"family={args.family}  N={instance.total_size}  p={args.p}  "
+          f"backend={args.backend}  algorithm={result.algorithm}  "
+          f"OUT={result.out_size}")
+    print(f"load L={result.report.max_load}  wall={profiler.total_wall:.3f}s")
+    print()
+    print(profiler.tree() if args.tree else profiler.render_hotspots(args.top))
+    print()
+    print(f"speedscope profile written to {args.profile_out} "
+          f"(open at https://speedscope.app)")
+    if args.chrome_out:
+        print(f"chrome trace written to {args.chrome_out}")
+    if args.metrics_out:
+        print(f"metrics written to {args.metrics_out}")
     return 0
 
 
@@ -576,6 +784,8 @@ def main(argv=None) -> int:
         return _command_explain(args)
     if args.command == "trace":
         return _command_trace(args)
+    if args.command == "profile":
+        return _command_profile(args)
     if args.command == "fuzz":
         return _command_fuzz(args)
     if args.command == "chaos":

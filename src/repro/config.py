@@ -40,6 +40,12 @@ class ExecutionConfig:
     tracer: Optional[Any] = None
     fault_schedule: Optional[Any] = None
     validate: bool = False
+    #: Optional :class:`~repro.obs.profile.Profiler` recording wall-clock
+    #: spans (phases, cluster ops, kernels, executor steps) of every run
+    #: made under this config.  ``None`` (the default) keeps hot paths at
+    #: a single ``None`` check; answers, CostReports, and traces are
+    #: bit-identical either way.
+    profiler: Optional[Any] = None
     #: How ``algorithm="cost"`` collects its planner statistics:
     #: ``"offline"`` (free ANALYZE-style scan) or ``"in-model"`` (collected
     #: on the cluster with metered load, charged to the run's report).
@@ -73,4 +79,5 @@ class ExecutionConfig:
             tracer=self.tracer,
             faults=self.fault_schedule,
             backend=resolve_backend(self.backend, total_size),
+            profiler=self.profiler,
         )

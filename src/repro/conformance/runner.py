@@ -20,7 +20,7 @@ import json
 import random
 import time
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .corpus import save_case
 from .generators import (
@@ -65,6 +65,11 @@ class FuzzConfig:
     #: recoverable schedules per (case, algorithm) and faults per schedule.
     chaos_schedules: int = 2
     chaos_faults: int = 3
+    #: Clock used for the ``seconds`` deadline: a zero-arg callable returning
+    #: monotonic seconds (default ``time.monotonic``).  Injectable so tests
+    #: can drive wall-clock budgets deterministically — the same contract as
+    #: :class:`repro.obs.profile.Profiler`'s clock.
+    clock: Optional[Callable[[], float]] = None
 
     def generator(self) -> GeneratorConfig:
         return GeneratorConfig(
@@ -154,14 +159,13 @@ def fuzz(config: FuzzConfig) -> FuzzSummary:
         domain=config.domain,
     )
     secondary = [name for name in config.invariants if name != "differential"]
-    deadline = (
-        time.monotonic() + config.seconds if config.seconds is not None else None
-    )
+    clock = config.clock if config.clock is not None else time.monotonic
+    deadline = clock() + config.seconds if config.seconds is not None else None
 
     iteration = 0
     while True:
         if deadline is not None:
-            if time.monotonic() >= deadline and iteration >= 1:
+            if clock() >= deadline and iteration >= 1:
                 break
             if iteration >= 100000:  # hard stop for pathological budgets
                 break

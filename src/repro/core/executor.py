@@ -22,6 +22,7 @@ from ..data.query import Instance, QueryClass, TreeQuery
 from ..data.relation import DistRelation, Relation
 from ..mpc.cluster import ClusterView, MPCCluster
 from ..mpc.stats import CostReport
+from ..obs import profile as _obs_profile
 from ..semiring import Semiring
 from .line import line_query
 from .star import star_query
@@ -122,6 +123,7 @@ def run_query(
     semiring = instance.semiring
     query_class = query.classify()
 
+    profiler = cluster.tracker.profiler
     chosen = algorithm
     plan = None
     if algorithm == "auto":
@@ -130,13 +132,19 @@ def run_query(
         from ..planner import plan_query
 
         stats_mode = getattr(config, "stats_mode", "offline") if config else "offline"
-        plan = plan_query(
-            instance,
-            p=cluster.p,
-            stats_mode=stats_mode,
-            view=view if stats_mode == "in-model" else None,
-            backend=cluster.backend,
-        )
+        if profiler is not None:
+            profiler.start("plan", kind="step")
+        try:
+            plan = plan_query(
+                instance,
+                p=cluster.p,
+                stats_mode=stats_mode,
+                view=view if stats_mode == "in-model" else None,
+                backend=cluster.backend,
+            )
+        finally:
+            if profiler is not None:
+                profiler.stop()
         chosen = plan.algorithm
 
     tracer = cluster.tracker.tracer
@@ -148,11 +156,31 @@ def run_query(
             # are untouched).
             tracer.emit("plan", -1, (), detail=plan.summary())
 
-    distributed = _dispatch(chosen, instance, view)
     out_schema = tuple(sorted(query.output))
-    if distributed.schema != out_schema:
-        distributed = aggregate_relation(distributed, out_schema, semiring)
-    relation = distributed.collect("result", semiring)
+    if profiler is None:
+        distributed = _dispatch(chosen, instance, view)
+        if distributed.schema != out_schema:
+            distributed = aggregate_relation(distributed, out_schema, semiring)
+        relation = distributed.collect("result", semiring)
+    else:
+        # Root span per run (one profiler may observe many runs, e.g. a
+        # table1 sweep); activation makes the profiler visible to the
+        # vectorized kernels, which receive bare arrays and cannot reach
+        # the cluster through their arguments.
+        token = _obs_profile.activate(profiler)
+        profiler.start(f"run:{chosen}", kind="run", backend=cluster.backend)
+        try:
+            distributed = _dispatch(chosen, instance, view)
+            if distributed.schema != out_schema:
+                with profiler.span("finalize", kind="step"):
+                    distributed = aggregate_relation(
+                        distributed, out_schema, semiring
+                    )
+            with profiler.span("collect", kind="step"):
+                relation = distributed.collect("result", semiring)
+        finally:
+            profiler.stop()
+            _obs_profile.activate(token)
     if validate:
         from ..ram.evaluate import evaluate
 
@@ -343,11 +371,20 @@ def _dispatch(chosen: str, instance: Instance, view: ClusterView) -> DistRelatio
             f"is {query.classify()}; applicable here: "
             f"{', '.join(applicable_algorithms(query))}"
         )
-    loaded: Dict[str, DistRelation] = {
-        name: DistRelation.load(view, instance.relation(name))
-        for name, _ in query.relations
-    }
-    return spec.run(instance, view, loaded)
+    profiler = view.tracker.profiler
+    if profiler is None:
+        loaded: Dict[str, DistRelation] = {
+            name: DistRelation.load(view, instance.relation(name))
+            for name, _ in query.relations
+        }
+        return spec.run(instance, view, loaded)
+    with profiler.span("load", kind="step"):
+        loaded = {
+            name: DistRelation.load(view, instance.relation(name))
+            for name, _ in query.relations
+        }
+    with profiler.span("execute", kind="step"):
+        return spec.run(instance, view, loaded)
 
 
 def _rel_between(query, left: str, right: str) -> str:

@@ -47,17 +47,24 @@ class MPCCluster:
     work; it never changes what ``exchange`` delivers or meters (see
     :mod:`repro.backends`).  ``cluster.codec`` is the backend's shared
     value codec, created lazily on first use.
+
+    ``profiler`` (a :class:`~repro.obs.profile.Profiler`, optional) turns
+    on wall-clock span profiling: every delivering operation and
+    ``run_parallel`` wave records its elapsed time and items moved.  With
+    none attached (the default), operations pay a single ``None`` check
+    and results/meters/traces are bit-identical to an unprofiled run.
     """
 
     def __init__(self, p: int, seed: int = 0, tracer: Optional[Any] = None,
-                 faults: Optional[Any] = None, backend: str = "pytuple") -> None:
+                 faults: Optional[Any] = None, backend: str = "pytuple",
+                 profiler: Optional[Any] = None) -> None:
         if p < 1:
             raise ValueError("cluster needs at least one server")
         self.p = p
         self.seed = seed
         self.backend = backend
         self._codec: Optional[Any] = None
-        self.tracker = LoadTracker(tracer=tracer)
+        self.tracker = LoadTracker(tracer=tracer, profiler=profiler)
         if faults is None:
             self.faults = None
         else:
@@ -128,6 +135,21 @@ class ClusterView:
         the cursor.  ``op`` only labels the trace event (``gather`` routes
         through here and tags itself).
         """
+        profiler = self.tracker.profiler
+        if profiler is None:
+            return self._exchange(outboxes, op)
+        profiler.start(op, kind="op", backend=self.cluster.backend)
+        try:
+            inboxes = self._exchange(outboxes, op)
+        except BaseException:
+            profiler.stop()
+            raise
+        profiler.stop(items=sum(len(inbox) for inbox in inboxes))
+        return inboxes
+
+    def _exchange(
+        self, outboxes: Sequence[Iterable[Tuple[int, Any]]], op: str
+    ) -> List[List[Any]]:
         if len(outboxes) != self.p:
             raise RoutingError(f"expected {self.p} outboxes, got {len(outboxes)}")
         inboxes: List[List[Any]] = [[] for _ in range(self.p)]
@@ -188,6 +210,19 @@ class ClusterView:
         One round; each server's incoming load is the total item count, which
         is how the paper charges a broadcast.
         """
+        profiler = self.tracker.profiler
+        if profiler is None:
+            return self._broadcast(parts)
+        profiler.start("broadcast", kind="op", backend=self.cluster.backend)
+        try:
+            everything = self._broadcast(parts)
+        except BaseException:
+            profiler.stop()
+            raise
+        profiler.stop(items=len(everything) * self.p)
+        return everything
+
+    def _broadcast(self, parts: Sequence[Sequence[Any]]) -> List[Any]:
         everything = [item for part in parts for item in part]
         round_index = self.round
         tracker = self.tracker
@@ -280,6 +315,7 @@ class ClusterView:
 
         results: List[Any] = [None] * len(tasks)
         pending = list(range(len(tasks)))
+        profiler = self.tracker.profiler
         while pending:
             wave: List[int] = []
             used = 0
@@ -297,13 +333,20 @@ class ClusterView:
             base_round = self.round
             deepest = base_round
             offset = 0
-            for task_index in wave:
-                width = clamped[task_index]
-                branch = self.subview(range(offset, offset + width))
-                branch.round = base_round
-                results[task_index] = tasks[task_index](branch)
-                deepest = max(deepest, branch.round)
-                offset += width
+            if profiler is not None:
+                profiler.start("parallel-wave", kind="op",
+                               backend=self.cluster.backend)
+            try:
+                for task_index in wave:
+                    width = clamped[task_index]
+                    branch = self.subview(range(offset, offset + width))
+                    branch.round = base_round
+                    results[task_index] = tasks[task_index](branch)
+                    deepest = max(deepest, branch.round)
+                    offset += width
+            finally:
+                if profiler is not None:
+                    profiler.stop()
             tracer = self.tracker.tracer
             if tracer is not None and tracer.active:
                 tracer.emit(

@@ -132,6 +132,24 @@ def transfer(
     The two views' cursors are synchronized to ``max(src, dst) + 1``, which is
     what a globally synchronous cluster would observe.
     """
+    profiler = dest_view.tracker.profiler
+    if profiler is None:
+        return _transfer(source, dest_view, dest_fn)
+    profiler.start("transfer", kind="op", backend=dest_view.cluster.backend)
+    try:
+        moved = _transfer(source, dest_view, dest_fn)
+    except BaseException:
+        profiler.stop()
+        raise
+    profiler.stop(items=moved.total_size)
+    return moved
+
+
+def _transfer(
+    source: Distributed,
+    dest_view: ClusterView,
+    dest_fn: Callable[[Any], int],
+) -> Distributed:
     if source.view.cluster is not dest_view.cluster:
         raise RoutingError("transfer requires views of the same cluster")
     round_index = max(source.view.round, dest_view.round)

@@ -128,7 +128,8 @@ class _PhaseFrame:
 class LoadTracker:
     """Accumulates per-(round, server) incoming message counts."""
 
-    def __init__(self, tracer: Optional[Any] = None) -> None:
+    def __init__(self, tracer: Optional[Any] = None,
+                 profiler: Optional[Any] = None) -> None:
         self._loads: Dict[int, Dict[int, int]] = {}
         self._control = 0
         self._products = 0
@@ -143,6 +144,11 @@ class LoadTracker:
         #: structured events through it when present (duck-typed so the mpc
         #: layer has no import dependency on :mod:`repro.obs`).
         self.tracer = tracer
+        #: Optional :class:`repro.obs.profile.Profiler`; phase open/close
+        #: and cluster operations record wall-clock spans into it when
+        #: present (same duck-typing as ``tracer``; ``None`` — the default
+        #: — keeps every hot path at a single ``None`` check).
+        self.profiler = profiler
 
     # -- recording -----------------------------------------------------------
 
@@ -211,11 +217,15 @@ class LoadTracker:
 
     def push_phase(self, label: str) -> None:
         self._phase_stack.append(_PhaseFrame(label))
+        if self.profiler is not None:
+            self.profiler.start(label, kind="phase")
 
     def pop_phase(self) -> None:
         frame = self._phase_stack.pop()
         load = max(frame.cells.values()) if frame.cells else 0
         self._phases.append((frame.label, load))
+        if self.profiler is not None:
+            self.profiler.stop()
 
     def phase_path(self) -> Tuple[str, ...]:
         """Labels of the currently-open phases, outermost first."""
@@ -304,4 +314,6 @@ class _Phase:
             self._tracker.pop_phase()
         else:  # keep the stack consistent on error paths
             self._tracker._phase_stack.pop()
+            if self._tracker.profiler is not None:
+                self._tracker.profiler.stop()
         return False

@@ -10,7 +10,13 @@ This package provides it without perturbing the metered costs:
 * :mod:`repro.obs.metrics` — per-round load vectors and skew statistics
   (max/mean imbalance, p95, Gini);
 * :mod:`repro.obs.heatmap` — ASCII round × server load heatmaps;
-* :mod:`repro.obs.trace_io` — JSONL round-trip and cost reconstruction.
+* :mod:`repro.obs.trace_io` — JSONL round-trip and cost reconstruction;
+* :mod:`repro.obs.profile` — hierarchical wall-clock span
+  :class:`Profiler` (injectable clock, hotspot tables, speedscope /
+  Chrome-trace flamegraph exports; no-op when no profiler is attached);
+* :mod:`repro.obs.registry` — metrics registry (counters, gauges,
+  histograms) with Prometheus text exposition, fed from the trace stream
+  and the profiler.
 
 See docs/observability.md for the event schema and a reading guide.
 """
@@ -40,6 +46,22 @@ from .metrics import (
     round_maxima,
     skew_stats,
 )
+from .profile import (
+    HotspotRow,
+    Profiler,
+    SpanNode,
+    active_profiler,
+    replay_speedscope,
+)
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSink,
+    observe_profile,
+    observe_report,
+)
 from .trace_io import (
     iter_trace,
     phase_loads_from_events,
@@ -49,6 +71,18 @@ from .trace_io import (
 )
 
 __all__ = [
+    "Profiler",
+    "SpanNode",
+    "HotspotRow",
+    "active_profiler",
+    "replay_speedscope",
+    "MetricsRegistry",
+    "MetricsSink",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "observe_profile",
+    "observe_report",
     "TraceEvent",
     "Tracer",
     "TraceSink",

@@ -151,19 +151,32 @@ class RingBufferSink(TraceSink):
 
 
 class JsonlSink(TraceSink):
-    """Stream events to a file as JSON Lines (one event object per line)."""
+    """Stream events to a file as JSON Lines (one event object per line).
 
-    def __init__(self, target: Union[str, IO[str]]) -> None:
+    The stream is flushed every ``flush_every`` events and again on
+    ``close``/``__exit__``, so a crashed run loses at most the last
+    ``flush_every - 1`` events rather than everything buffered.
+    """
+
+    def __init__(self, target: Union[str, IO[str]], flush_every: int = 64) -> None:
+        if flush_every < 1:
+            raise ValueError("JsonlSink needs flush_every >= 1")
         if isinstance(target, str):
             self._handle: IO[str] = open(target, "w", encoding="utf-8")
             self._owns_handle = True
         else:
             self._handle = target
             self._owns_handle = False
+        self._flush_every = flush_every
+        self._since_flush = 0
         self._closed = False
 
     def write(self, event: TraceEvent) -> None:
         self._handle.write(json.dumps(event_to_dict(event)) + "\n")
+        self._since_flush += 1
+        if self._since_flush >= self._flush_every:
+            self._handle.flush()
+            self._since_flush = 0
 
     def close(self) -> None:
         if self._closed:
@@ -205,6 +218,7 @@ class Tracer:
         self.sinks = list(sinks)
         self.label = label
         self.scope = scope
+        self._closed = False
 
     @property
     def active(self) -> bool:
@@ -240,7 +254,10 @@ class Tracer:
             sink.write(event)
 
     def close(self) -> None:
-        """Close every sink (flushes file-backed ones)."""
+        """Close every sink (flushes file-backed ones); idempotent."""
+        if self._closed:
+            return
+        self._closed = True
         for sink in self.sinks:
             sink.close()
 

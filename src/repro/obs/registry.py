@@ -1,0 +1,367 @@
+"""Metrics registry: counters, gauges, histograms, Prometheus exposition.
+
+The planned query service needs a ``/metrics`` endpoint; this module is
+the plumbing behind it, kept dependency-free (no ``prometheus_client``).
+A :class:`MetricsRegistry` owns named metrics; each metric tracks one
+value per label combination, and :meth:`MetricsRegistry.render` emits the
+whole registry in the Prometheus text exposition format (version 0.0.4),
+deterministically ordered so output is byte-stable for a fixed state.
+
+Three feeders connect the registry to the observability stream:
+
+* :class:`MetricsSink` — a :class:`~repro.obs.events.TraceSink` that folds
+  every :class:`TraceEvent` into event/item counters and a per-delivery
+  load histogram (attach it to a :class:`Tracer` like any other sink);
+* :func:`observe_profile` — loads a :class:`~repro.obs.profile.Profiler`'s
+  hotspot aggregates into span seconds/calls/items counters;
+* :func:`observe_report` — snapshots a :class:`CostReport` into gauges.
+
+>>> registry = MetricsRegistry()
+>>> tracer = Tracer([MetricsSink(registry)])
+>>> # ... run queries with the tracer attached ...
+>>> print(registry.render())          # ready for a /metrics endpoint
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .events import LOAD_OPS, TraceEvent, TraceSink
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSink",
+    "DEFAULT_LOAD_BUCKETS",
+    "observe_profile",
+    "observe_report",
+]
+
+#: Default histogram buckets for per-event delivered-item counts: powers of
+#: four cover everything from single-tuple control-ish deliveries to the
+#: broadcast of a whole relation.
+DEFAULT_LOAD_BUCKETS = (1, 4, 16, 64, 256, 1024, 4096, 16384, float("inf"))
+
+_LabelValues = Tuple[str, ...]
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def _format_labels(names: Sequence[str], values: _LabelValues,
+                   extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    pairs = [(name, value) for name, value in zip(names, values)] + list(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(f'{name}="{_escape(value)}"' for name, value in pairs)
+    return "{" + inner + "}"
+
+
+class _Metric:
+    """Shared bookkeeping: name, help text, declared label names."""
+
+    type_name = "untyped"
+
+    def __init__(self, name: str, help_text: str,
+                 labelnames: Sequence[str] = ()) -> None:
+        self.name = name
+        self.help = help_text
+        self.labelnames = tuple(labelnames)
+
+    def _key(self, labels: Dict[str, str]) -> _LabelValues:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name!r} expects labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def header(self) -> List[str]:
+        return [
+            f"# HELP {self.name} {_escape(self.help)}",
+            f"# TYPE {self.name} {self.type_name}",
+        ]
+
+    def samples(self) -> List[str]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """A monotonically increasing value per label combination."""
+
+    type_name = "counter"
+
+    def __init__(self, name: str, help_text: str,
+                 labelnames: Sequence[str] = ()) -> None:
+        super().__init__(name, help_text, labelnames)
+        self._values: Dict[_LabelValues, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = self._key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        return self._values.get(self._key(labels), 0.0)
+
+    def samples(self) -> List[str]:
+        return [
+            f"{self.name}{_format_labels(self.labelnames, key)} "
+            f"{_format_value(value)}"
+            for key, value in sorted(self._values.items())
+        ]
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (last-set wins)."""
+
+    type_name = "gauge"
+
+    def __init__(self, name: str, help_text: str,
+                 labelnames: Sequence[str] = ()) -> None:
+        super().__init__(name, help_text, labelnames)
+        self._values: Dict[_LabelValues, float] = {}
+
+    def set(self, value: float, **labels: str) -> None:
+        self._values[self._key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        key = self._key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        return self._values.get(self._key(labels), 0.0)
+
+    def samples(self) -> List[str]:
+        return [
+            f"{self.name}{_format_labels(self.labelnames, key)} "
+            f"{_format_value(value)}"
+            for key, value in sorted(self._values.items())
+        ]
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram (Prometheus ``le`` convention)."""
+
+    type_name = "histogram"
+
+    def __init__(self, name: str, help_text: str,
+                 labelnames: Sequence[str] = (),
+                 buckets: Sequence[float] = DEFAULT_LOAD_BUCKETS) -> None:
+        super().__init__(name, help_text, labelnames)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds or bounds[-1] != float("inf"):
+            bounds = bounds + (float("inf"),)
+        self.buckets = bounds
+        self._counts: Dict[_LabelValues, List[int]] = {}
+        self._sums: Dict[_LabelValues, float] = {}
+
+    def observe(self, value: float, **labels: str) -> None:
+        key = self._key(labels)
+        counts = self._counts.get(key)
+        if counts is None:
+            counts = [0] * len(self.buckets)
+            self._counts[key] = counts
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                counts[index] += 1
+                break
+        self._sums[key] = self._sums.get(key, 0.0) + value
+
+    def count(self, **labels: str) -> int:
+        return sum(self._counts.get(self._key(labels), ()))
+
+    def sum(self, **labels: str) -> float:
+        return self._sums.get(self._key(labels), 0.0)
+
+    def samples(self) -> List[str]:
+        lines: List[str] = []
+        for key in sorted(self._counts):
+            cumulative = 0
+            for bound, count in zip(self.buckets, self._counts[key]):
+                cumulative += count
+                labels = _format_labels(
+                    self.labelnames, key, (("le", _format_value(bound)),)
+                )
+                lines.append(f"{self.name}_bucket{labels} {cumulative}")
+            plain = _format_labels(self.labelnames, key)
+            lines.append(
+                f"{self.name}_sum{plain} {_format_value(self._sums[key])}"
+            )
+            lines.append(f"{self.name}_count{plain} {cumulative}")
+        return lines
+
+
+class MetricsRegistry:
+    """A named collection of metrics with Prometheus text rendering.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: calling them
+    twice with the same name returns the same metric (and raises if the
+    existing metric has a different type or label set), which lets several
+    feeders share one registry safely.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, _Metric] = {}
+
+    def _register(self, cls, name: str, help_text: str,
+                  labelnames: Sequence[str], **kwargs: Any):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls) or existing.labelnames != tuple(labelnames):
+                raise ValueError(
+                    f"metric {name!r} already registered with a different "
+                    f"type or label set"
+                )
+            return existing
+        metric = cls(name, help_text, labelnames, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help_text: str = "",
+                labelnames: Sequence[str] = ()) -> Counter:
+        return self._register(Counter, name, help_text, labelnames)
+
+    def gauge(self, name: str, help_text: str = "",
+              labelnames: Sequence[str] = ()) -> Gauge:
+        return self._register(Gauge, name, help_text, labelnames)
+
+    def histogram(self, name: str, help_text: str = "",
+                  labelnames: Sequence[str] = (),
+                  buckets: Sequence[float] = DEFAULT_LOAD_BUCKETS) -> Histogram:
+        return self._register(Histogram, name, help_text, labelnames,
+                              buckets=buckets)
+
+    def get(self, name: str) -> Optional[_Metric]:
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def render(self) -> str:
+        """The whole registry in Prometheus text exposition format 0.0.4.
+
+        Metrics are sorted by name and label values, so the output is
+        byte-stable for a fixed registry state — the property the tests
+        and any scrape-diffing tooling rely on.
+        """
+        blocks: List[str] = []
+        for name in self.names():
+            metric = self._metrics[name]
+            blocks.extend(metric.header())
+            blocks.extend(metric.samples())
+        return "\n".join(blocks) + ("\n" if blocks else "")
+
+
+class MetricsSink(TraceSink):
+    """A trace sink folding every event into a :class:`MetricsRegistry`.
+
+    Maintains:
+
+    * ``repro_trace_events_total{op}`` — events seen per operation;
+    * ``repro_items_delivered_total{op}`` — items delivered by load-bearing
+      operations;
+    * ``repro_delivery_max_received{op}`` — histogram of each load-bearing
+      event's largest single-server delivery (the per-event contribution
+      to the paper's ``L``);
+    * ``repro_rounds_observed`` — gauge of the highest round index seen
+      (plus one), i.e. the traced round count.
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self._events = registry.counter(
+            "repro_trace_events_total",
+            "Trace events observed, by operation.",
+            labelnames=("op",),
+        )
+        self._items = registry.counter(
+            "repro_items_delivered_total",
+            "Items delivered by load-bearing cluster operations.",
+            labelnames=("op",),
+        )
+        self._max_received = registry.histogram(
+            "repro_delivery_max_received",
+            "Largest single-server delivery per load-bearing event.",
+            labelnames=("op",),
+        )
+        self._rounds = registry.gauge(
+            "repro_rounds_observed",
+            "Rounds covered by the trace stream (max round index + 1).",
+        )
+
+    def write(self, event: TraceEvent) -> None:
+        self._events.inc(op=event.op)
+        if event.op in LOAD_OPS:
+            self._items.inc(event.total, op=event.op)
+            self._max_received.observe(event.max_received, op=event.op)
+            if event.round >= 0:
+                current = self._rounds.value()
+                if event.round + 1 > current:
+                    self._rounds.set(event.round + 1)
+
+
+def observe_profile(registry: MetricsRegistry, profiler: Any) -> None:
+    """Fold a profiler's hotspot aggregates into span counters.
+
+    Creates/updates ``repro_span_seconds_total`` / ``repro_span_calls_total``
+    / ``repro_span_items_total``, labelled by ``(phase, op, kind, backend)``
+    exactly like :meth:`Profiler.hotspots` rows.  Call once per finished
+    run; repeated calls accumulate (counters only go up).
+    """
+    seconds = registry.counter(
+        "repro_span_seconds_total",
+        "Self wall-clock seconds per profiled span cell.",
+        labelnames=("phase", "op", "kind", "backend"),
+    )
+    calls = registry.counter(
+        "repro_span_calls_total",
+        "Span entries per profiled span cell.",
+        labelnames=("phase", "op", "kind", "backend"),
+    )
+    items = registry.counter(
+        "repro_span_items_total",
+        "Items moved per profiled span cell.",
+        labelnames=("phase", "op", "kind", "backend"),
+    )
+    for row in profiler.hotspots():
+        labels = dict(phase=row.phase, op=row.label, kind=row.kind,
+                      backend=row.backend or "-")
+        seconds.inc(row.self_s, **labels)
+        calls.inc(row.calls, **labels)
+        items.inc(row.items, **labels)
+
+
+def observe_report(registry: MetricsRegistry, report: Any,
+                   scope: str = "") -> None:
+    """Snapshot a :class:`CostReport` into per-scope gauges.
+
+    ``scope`` labels the run (workload name, instance digest, …) so a
+    service can expose the latest cost of each registered query.
+    """
+    fields: Iterable[Tuple[str, str, int]] = (
+        ("repro_last_max_load", "Measured load L of the last run.",
+         report.max_load),
+        ("repro_last_total_communication",
+         "Total items shipped by the last run.", report.total_communication),
+        ("repro_last_rounds", "Rounds used by the last run.", report.rounds),
+        ("repro_last_elementary_products",
+         "Semiring products performed by the last run.",
+         report.elementary_products),
+    )
+    for name, help_text, value in fields:
+        registry.gauge(name, help_text, labelnames=("scope",)).set(
+            value, scope=scope or "-"
+        )

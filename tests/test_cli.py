@@ -209,3 +209,123 @@ def test_table1_unknown_family_cli(capsys):
     captured = capsys.readouterr()
     assert code == 1
     assert "unknown Table-1 families" in captured.err
+
+
+# -- wall-clock profiling -------------------------------------------------------
+
+def test_profile_command_smoke(capsys, tmp_path):
+    out = str(tmp_path / "p.speedscope.json")
+    code = main(["profile", "--family", "matmul", "--tuples", "100",
+                 "--p", "8", "--profile-out", out])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "self_s" in captured.out and "run:" in captured.out
+    from repro.obs import replay_speedscope
+    document = json.load(open(out))
+    assert document["$schema"].endswith("file-format-schema.json")
+    replay_speedscope(document)  # balanced, schema-valid
+
+
+def test_profile_command_json_and_exports(capsys, tmp_path):
+    out = str(tmp_path / "p.speedscope.json")
+    chrome = str(tmp_path / "p.chrome.json")
+    metrics = str(tmp_path / "p.prom")
+    code = main(["profile", "--family", "line", "--tuples", "60",
+                 "--domain", "8", "--p", "4", "--profile-out", out,
+                 "--chrome-out", chrome, "--metrics-out", metrics,
+                 "--top", "5", "--json"])
+    document = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert document["total_wall_s"] > 0
+    assert len(document["hotspots"]) <= 5
+    assert document["tree"][0]["label"].startswith("run:")
+    trace = json.load(open(chrome))
+    assert trace["traceEvents"][0]["ph"] == "B"
+    exposition = open(metrics).read()
+    assert "repro_span_seconds_total" in exposition
+    assert 'repro_last_max_load{scope="line"}' in exposition
+
+
+def test_profile_command_rejects_bad_algorithm(capsys, tmp_path):
+    code = main(["profile", "--family", "matmul", "--tuples", "60",
+                 "--algorithm", "nope",
+                 "--profile-out", str(tmp_path / "p.json")])
+    assert code == 2
+    assert "ERROR" in capsys.readouterr().err
+
+
+def test_compare_profile_flag(capsys):
+    code = main(["compare", "--family", "matmul", "--tuples", "100",
+                 "--p", "4", "--profile"])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "wall-clock profile" in captured.out
+    assert "self_s" in captured.out
+
+
+def test_table1_profile_json_key_only_when_on(capsys, tmp_path):
+    code = main(["table1", "--scale", "60", "--p", "4", "--json"])
+    plain = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert "profile" not in plain
+
+    out = str(tmp_path / "t.speedscope.json")
+    code = main(["table1", "--scale", "60", "--p", "4", "--json",
+                 "--profile-out", out])
+    profiled = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert profiled["rows"] == plain["rows"]  # answers unchanged
+    assert profiled["profile"]["hotspots"]
+    assert profiled["profile"]["profile_out"] == out
+    json.load(open(out))
+
+
+def test_sweep_profile_flag_json(capsys):
+    code = main(["sweep", "--family", "matmul", "--tuples", "40",
+                 "--points", "2", "--p", "4", "--json", "--profile"])
+    document = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert document["profile"]["total_wall_s"] > 0
+
+
+# -- trace filters and per-phase table ------------------------------------------
+
+def test_trace_phase_and_op_filters(capsys, tmp_path):
+    trace_out = str(tmp_path / "t.jsonl")
+    code = main(["trace", "--family", "matmul", "--tuples", "60",
+                 "--domain", "8", "--p", "4", "--trace-out", trace_out,
+                 "--op", "exchange", "--phase", "matmul-wc", "--json"])
+    document = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert document["filters"] == {"phase": "matmul-wc", "op": "exchange"}
+    # The JSONL file keeps everything; the analysis saw a subset.
+    full_events = sum(1 for _ in open(trace_out))
+    assert 0 < document["events"] < full_events
+
+
+def test_trace_top_phase_table(capsys, tmp_path):
+    trace_out = str(tmp_path / "t.jsonl")
+    code = main(["trace", "--family", "matmul", "--tuples", "60",
+                 "--domain", "8", "--p", "4", "--trace-out", trace_out,
+                 "--top", "3"])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "phase paths by max per-server load" in captured.out
+
+    code = main(["trace", "--family", "matmul", "--tuples", "60",
+                 "--domain", "8", "--p", "4", "--trace-out", trace_out,
+                 "--top", "2", "--json"])
+    document = json.loads(capsys.readouterr().out)
+    assert code == 0
+    loads = document["phase_loads"]
+    assert 0 < len(loads) <= 2
+    assert loads == sorted(loads, key=lambda r: (-r["max_load"], r["phase"]))
+
+
+def test_trace_json_has_no_filter_keys_by_default(capsys, tmp_path):
+    code = main(["trace", "--family", "line", "--tuples", "40",
+                 "--domain", "8", "--p", "4",
+                 "--trace-out", str(tmp_path / "t.jsonl"), "--json"])
+    document = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert "filters" not in document and "phase_loads" not in document

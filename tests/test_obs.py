@@ -261,6 +261,46 @@ def test_jsonl_sink_writes_parseable_lines(tmp_path):
     assert events[1].op == "broadcast"
 
 
+def test_jsonl_sink_flushes_every_n_events(tmp_path):
+    """Crash-safety: events are on disk every ``flush_every`` writes, so a
+    killed run loses at most the unflushed tail."""
+    trace_path = tmp_path / "events.jsonl"
+    handle = open(trace_path, "w", encoding="utf-8")
+    sink = JsonlSink(handle, flush_every=2)
+    event = TraceEvent(op="exchange", round=0, servers=(0,), received=(1,))
+    sink.write(event)
+    sink.write(event)  # second write crosses the flush threshold
+    assert len(trace_path.read_text().strip().splitlines()) == 2
+    sink.write(event)  # unflushed tail...
+    sink.close()       # ...flushed by close
+    assert len(trace_path.read_text().strip().splitlines()) == 3
+    handle.close()
+
+
+def test_jsonl_sink_rejects_bad_flush_every(tmp_path):
+    with pytest.raises(ValueError):
+        JsonlSink(str(tmp_path / "x.jsonl"), flush_every=0)
+
+
+def test_jsonl_sink_close_is_idempotent(tmp_path):
+    sink = JsonlSink(str(tmp_path / "events.jsonl"))
+    sink.close()
+    sink.close()  # second close must not raise on the closed handle
+
+
+def test_tracer_close_is_idempotent(tmp_path):
+    closes = []
+
+    class CountingSink(RingBufferSink):
+        def close(self):
+            closes.append(1)
+
+    tracer = Tracer([CountingSink()])
+    tracer.close()
+    tracer.close()
+    assert len(closes) == 1
+
+
 def test_phase_loads_from_events():
     events = [
         TraceEvent(op="exchange", round=0, servers=(0, 1), received=(4, 1),

@@ -1,0 +1,374 @@
+"""Wall-clock profiler and metrics registry: spans, exporters, bit-identity.
+
+Covers the PR's invariant — with a profiler attached, answers,
+``CostReport``\\ s, and traces are bit-identical to an unprofiled run across
+backends and under fault schedules — plus the exporters' schema round-trips
+driven by a deterministic fake clock.
+"""
+
+import json
+
+import pytest
+
+from repro.backends.dispatch import HAS_NUMPY
+from repro.config import ExecutionConfig
+from repro.core.executor import run_query
+from repro.mpc import FaultInjector, FaultSchedule, MPCCluster, RecoveryPolicy
+from repro.obs import (
+    MetricsRegistry,
+    MetricsSink,
+    Profiler,
+    RingBufferSink,
+    Tracer,
+    active_profiler,
+    observe_profile,
+    observe_report,
+    replay_speedscope,
+)
+from repro.obs.profile import SPEEDSCOPE_SCHEMA, activate, write_json
+from repro.workloads import line_instance, planted_out_matmul
+
+
+class FakeClock:
+    """Deterministic clock: each call advances by ``step`` seconds."""
+
+    def __init__(self, step=1.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        value = self.now
+        self.now += self.step
+        return value
+
+
+# -- profiler core -------------------------------------------------------------
+
+def test_span_tree_accumulates_with_fake_clock():
+    profiler = Profiler(clock=FakeClock())
+    with profiler.span("outer", kind="phase"):
+        with profiler.span("inner", kind="op", backend="pytuple"):
+            pass
+        with profiler.span("inner", kind="op", backend="pytuple"):
+            pass
+    assert profiler.open_depth == 0
+    (outer,) = profiler.root.children.values()
+    assert outer.label == "outer" and outer.calls == 1
+    (inner,) = outer.children.values()
+    # Repeated same-key spans accumulate into one node.
+    assert inner.calls == 2 and inner.backend == "pytuple"
+    # Clock ticks once per start/stop: outer spans 5 ticks, inners 1 each.
+    assert outer.wall == pytest.approx(5.0)
+    assert inner.wall == pytest.approx(2.0)
+    assert outer.self_wall == pytest.approx(3.0)
+
+
+def test_stop_without_start_raises():
+    profiler = Profiler(clock=FakeClock())
+    with pytest.raises(RuntimeError):
+        profiler.stop()
+
+
+def test_items_credit_and_add_items():
+    profiler = Profiler(clock=FakeClock())
+    profiler.start("exchange", kind="op")
+    profiler.add_items(7)
+    profiler.stop(items=3)
+    (node,) = profiler.root.children.values()
+    assert node.items == 10
+
+
+def test_hotspots_group_by_phase_path():
+    profiler = Profiler(clock=FakeClock())
+    with profiler.span("run:matmul", kind="run"):
+        with profiler.span("semijoin", kind="phase"):
+            with profiler.span("exchange", kind="op", backend="pytuple"):
+                profiler.add_items(40)
+    rows = {(row.phase, row.label): row for row in profiler.hotspots()}
+    op_row = rows[("run:matmul/semijoin", "exchange")]
+    assert op_row.items == 40 and op_row.calls == 1
+    # Structural spans appear as "·" bookkeeping rows under their path:
+    # the semijoin phase under "run:matmul", the run root under "(top)".
+    # Each start/stop consumes one fake-clock tick, so semijoin spans
+    # ticks 1→4 and the run root ticks 0→5.
+    assert rows[("run:matmul", "·")].cum_s == pytest.approx(3.0)
+    assert rows[("(top)", "·")].cum_s == pytest.approx(5.0)
+
+
+def test_render_hotspots_is_a_table():
+    profiler = Profiler(clock=FakeClock())
+    with profiler.span("run:line", kind="run"):
+        with profiler.span("exchange", kind="op", backend="pytuple"):
+            pass
+    text = profiler.render_hotspots()
+    assert text.splitlines()[0].split() == [
+        "self_s", "cum_s", "calls", "items", "backend", "op", "phase"
+    ]
+    assert "run:line" in text and "exchange" in text
+
+
+# -- exporters ------------------------------------------------------------------
+
+def _profiled_fixture():
+    profiler = Profiler(clock=FakeClock())
+    with profiler.span("run:matmul", kind="run"):
+        with profiler.span("exchange", kind="op", backend="numpy"):
+            pass
+        with profiler.span("hash_join", kind="kernel", backend="numpy"):
+            pass
+    return profiler
+
+
+def test_speedscope_round_trip_matches_span_walls():
+    profiler = _profiled_fixture()
+    document = profiler.to_speedscope()
+    assert document["$schema"] == SPEEDSCOPE_SCHEMA
+    profile = document["profiles"][0]
+    assert profile["type"] == "evented" and profile["unit"] == "seconds"
+    assert profile["events"][0]["at"] == 0.0  # rebased to the origin
+    totals = replay_speedscope(document)
+    (run,) = profiler.root.children.values()
+    assert totals["run:run:matmul"] == pytest.approx(run.wall)
+    for child in run.children.values():
+        name = f"{child.kind}:{child.label} [numpy]"
+        assert totals[name] == pytest.approx(child.wall)
+
+
+def test_speedscope_export_closes_open_spans_without_mutating():
+    profiler = Profiler(clock=FakeClock())
+    profiler.start("run:line", kind="run")
+    document = profiler.to_speedscope()
+    replay_speedscope(document)  # balanced despite the open span
+    assert profiler.open_depth == 1  # export did not close the live span
+    profiler.stop()
+
+
+def test_speedscope_documents_are_deterministic_with_fake_clock():
+    first = _profiled_fixture().to_speedscope()
+    second = _profiled_fixture().to_speedscope()
+    assert json.dumps(first, sort_keys=True) == json.dumps(second, sort_keys=True)
+
+
+def test_chrome_trace_events_balance():
+    document = _profiled_fixture().to_chrome_trace()
+    events = document["traceEvents"]
+    assert sum(1 for e in events if e["ph"] == "B") == \
+        sum(1 for e in events if e["ph"] == "E")
+    assert all(e["ts"] >= 0 for e in events)
+    # Microsecond timestamps: 1-second fake ticks are 1e6 apart.
+    assert events[1]["ts"] - events[0]["ts"] == pytest.approx(1e6)
+
+
+def test_replay_rejects_unbalanced_documents():
+    document = _profiled_fixture().to_speedscope()
+    document["profiles"][0]["events"] = \
+        document["profiles"][0]["events"][:-1]
+    with pytest.raises(ValueError):
+        replay_speedscope(document)
+
+
+def test_write_json_round_trips(tmp_path):
+    document = _profiled_fixture().to_speedscope()
+    path = str(tmp_path / "profile.speedscope.json")
+    write_json(document, path)
+    assert json.load(open(path)) == document
+
+
+# -- bit-identity: profiling on vs off -----------------------------------------
+
+@pytest.mark.parametrize("backend", ["pytuple"] + (["numpy"] if HAS_NUMPY else []))
+def test_profiled_run_is_bit_identical(backend):
+    instance = planted_out_matmul(n=120, out=480)
+    plain = run_query(instance, config=ExecutionConfig(p=4, backend=backend))
+    profiler = Profiler()
+    profiled = run_query(
+        instance, config=ExecutionConfig(p=4, backend=backend, profiler=profiler)
+    )
+    assert profiled.relation.tuples == plain.relation.tuples
+    assert profiled.report.to_dict() == plain.report.to_dict()
+    assert profiler.open_depth == 0
+    assert profiler.total_wall > 0.0
+    # The run recorded the full span hierarchy: a run root with op spans.
+    (run,) = profiler.root.children.values()
+    assert run.kind == "run"
+    kinds = {node.kind for node, _ in run.walk()}
+    assert "op" in kinds and "step" in kinds
+
+
+def test_profiled_run_leaves_trace_byte_identical(tmp_path):
+    instance = line_instance(3, 60, 8, seed=0)
+
+    def trace_with(profiler):
+        ring = RingBufferSink()
+        config = ExecutionConfig(p=4, tracer=Tracer([ring]), profiler=profiler)
+        run_query(instance, config=config)
+        from repro.obs import event_to_dict
+        return [event_to_dict(event) for event in ring.events]
+
+    assert trace_with(None) == trace_with(Profiler())
+
+
+def test_profiled_run_is_bit_identical_under_faults():
+    instance = planted_out_matmul(n=60, out=240)
+    clean_cluster = MPCCluster(4)
+    clean = run_query(instance, cluster=clean_cluster, algorithm="matmul")
+    cells = sorted(
+        (r, s)
+        for r, row in clean_cluster.tracker.load_cells().items()
+        for s, count in row.items() if count > 0
+    )
+    schedule = FaultSchedule.random(seed=3, cells=cells, count=4)
+
+    def faulted_run(profiler):
+        injector = FaultInjector(schedule, RecoveryPolicy(spares=4))
+        cluster = MPCCluster(4, faults=injector, profiler=profiler)
+        return run_query(instance, cluster=cluster, algorithm="matmul")
+
+    plain = faulted_run(None)
+    profiler = Profiler()
+    profiled = faulted_run(profiler)
+    assert profiled.relation.tuples == plain.relation.tuples
+    assert profiled.report.to_dict() == plain.report.to_dict()
+    assert profiler.open_depth == 0
+
+
+@pytest.mark.skipif(not HAS_NUMPY, reason="numpy backend unavailable")
+def test_numpy_run_records_kernel_spans():
+    instance = planted_out_matmul(n=200, out=800)
+    profiler = Profiler()
+    run_query(instance, config=ExecutionConfig(p=4, backend="numpy",
+                                               profiler=profiler))
+    kernels = {node.label for node, _ in profiler.root.walk()
+               if node.kind == "kernel"}
+    assert kernels, "numpy run recorded no kernel spans"
+    assert all(node.backend == "numpy" for node, _ in profiler.root.walk()
+               if node.kind == "kernel")
+
+
+def test_kernel_activation_is_restored_after_run():
+    assert active_profiler() is None
+    instance = planted_out_matmul(n=60, out=240)
+    run_query(instance, config=ExecutionConfig(p=4, profiler=Profiler()))
+    assert active_profiler() is None
+
+
+def test_kernel_activation_restores_after_errors():
+    sentinel = Profiler()
+    token = activate(sentinel)
+    try:
+        instance = planted_out_matmul(n=60, out=240)
+        with pytest.raises((KeyError, ValueError)):
+            run_query(instance, config=ExecutionConfig(
+                p=4, algorithm="nope", profiler=Profiler()))
+        assert active_profiler() is sentinel
+    finally:
+        activate(token)
+
+
+def test_one_profiler_observes_multiple_runs():
+    profiler = Profiler()
+    run_query(planted_out_matmul(n=60, out=240),
+              config=ExecutionConfig(p=4, algorithm="matmul",
+                                     profiler=profiler))
+    run_query(line_instance(3, 60, 8, seed=0),
+              config=ExecutionConfig(p=4, profiler=profiler))
+    roots = sorted(node.label for node in profiler.root.children.values())
+    assert len(roots) == 2 and all(label.startswith("run:") for label in roots)
+
+
+# -- metrics registry -----------------------------------------------------------
+
+def test_counter_gauge_histogram_basics():
+    registry = MetricsRegistry()
+    counter = registry.counter("repro_events_total", "events", ("op",))
+    counter.inc(op="exchange")
+    counter.inc(2, op="exchange")
+    assert counter.value(op="exchange") == 3
+    gauge = registry.gauge("repro_last_load", "load")
+    gauge.set(41)
+    gauge.inc()
+    assert gauge.value() == 42
+    histogram = registry.histogram("repro_delivery", "items", buckets=(1, 10))
+    histogram.observe(0.5)
+    histogram.observe(5)
+    histogram.observe(100)
+    assert histogram.count() == 3
+    assert histogram.sum() == pytest.approx(105.5)
+
+
+def test_registry_rejects_type_and_label_mismatches():
+    registry = MetricsRegistry()
+    registry.counter("repro_x_total", "x", ("op",))
+    with pytest.raises(ValueError):
+        registry.gauge("repro_x_total")
+    with pytest.raises(ValueError):
+        registry.counter("repro_x_total", "x", ("other",))
+
+
+def test_prometheus_exposition_format():
+    registry = MetricsRegistry()
+    counter = registry.counter("repro_events_total", "Total events.", ("op",))
+    counter.inc(op="exchange")
+    histogram = registry.histogram("repro_items", "Items.", buckets=(1, 8))
+    histogram.observe(4)
+    text = registry.render()
+    assert '# HELP repro_events_total Total events.' in text
+    assert '# TYPE repro_events_total counter' in text
+    assert 'repro_events_total{op="exchange"} 1' in text
+    assert '# TYPE repro_items histogram' in text
+    assert 'repro_items_bucket{le="1"} 0' in text
+    assert 'repro_items_bucket{le="8"} 1' in text
+    assert 'repro_items_bucket{le="+Inf"} 1' in text
+    assert 'repro_items_count 1' in text
+    # Byte-stable for a fixed state.
+    assert registry.render() == text
+
+
+def test_metrics_sink_counts_trace_events():
+    registry = MetricsRegistry()
+    instance = planted_out_matmul(n=60, out=240)
+    config = ExecutionConfig(p=4, tracer=Tracer([MetricsSink(registry)]))
+    result = run_query(instance, config=config)
+    text = registry.render()
+    assert 'repro_trace_events_total{op="exchange"}' in text
+    assert "repro_rounds_observed" in text
+    # Items delivered across ops equals the report's total communication.
+    delivered = sum(
+        int(line.rsplit(" ", 1)[1])
+        for line in text.splitlines()
+        if line.startswith("repro_items_delivered_total{")
+    )
+    assert delivered == result.report.total_communication
+
+
+def test_observe_profile_and_report():
+    registry = MetricsRegistry()
+    profiler = Profiler(clock=FakeClock())
+    with profiler.span("run:matmul", kind="run"):
+        with profiler.span("exchange", kind="op", backend="pytuple"):
+            profiler.add_items(12)
+    observe_profile(registry, profiler)
+    text = registry.render()
+    assert 'repro_span_calls_total' in text
+    assert 'op="exchange"' in text and 'phase="run:matmul"' in text
+
+    instance = planted_out_matmul(n=60, out=240)
+    result = run_query(instance, config=ExecutionConfig(p=4))
+    observe_report(registry, result.report, scope="matmul")
+    text = registry.render()
+    assert f'repro_last_max_load{{scope="matmul"}} '\
+        f'{result.report.max_load}' in text
+
+
+# -- injectable clock in the conformance runner ---------------------------------
+
+def test_fuzz_seconds_budget_with_fake_clock():
+    from repro.conformance import FuzzConfig, fuzz
+
+    config = FuzzConfig(seconds=2.5, seed=0, clock=FakeClock())
+    summary = fuzz(config)
+    # clock: 0 at deadline setup; iterations run while clock() < 2.5.
+    assert summary.iterations_run == 2
+    assert summary.to_json() == fuzz(
+        FuzzConfig(seconds=2.5, seed=0, clock=FakeClock())
+    ).to_json()
