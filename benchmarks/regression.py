@@ -123,6 +123,12 @@ def normalize_kernels(document: Dict[str, Any]) -> List[Metric]:
         metrics.append(
             Metric(f"{base}/speedup", row["speedup"], "ratio", "higher")
         )
+        if "columnar_s" in row:
+            metrics.append(Metric(f"{base}/columnar_s", row["columnar_s"], "wall"))
+            metrics.append(
+                Metric(f"{base}/columnar_speedup",
+                       row["columnar_speedup"], "ratio", "higher")
+            )
         metrics.append(Metric(f"{base}/max_load", row["max_load"], "load"))
     return metrics
 
@@ -144,14 +150,34 @@ def validate_baseline(suite: str, document: Dict[str, Any]) -> List[str]:
     """The document's own internal gates; a list of violation messages."""
     problems: List[str] = []
     if suite == "kernels":
+        full_scale = document.get("scale") == "full"
         for row in document.get("end_to_end", ()):
-            label = f"matmul n={row['n']} out={row['out']}"
+            label = f"{row.get('family', 'matmul')} n={row['n']} out={row['out']}"
             if not row.get("reports_identical", False):
                 problems.append(f"{label}: backends' cost reports differ")
             if row["speedup"] < 1.0:
                 problems.append(
                     f"{label}: numpy slower than pytuple "
                     f"(speedup {row['speedup']:.2f}x)"
+                )
+            # The columnar end-to-end gate: in the heavy-aggregation
+            # regime (products ≫ OUT) the committed full-scale document
+            # must show the columnar backend at ≥ 2x over pytuple —
+            # anything less means the array-native execution path has
+            # stopped engaging end-to-end.
+            columnar = row.get("columnar_speedup")
+            if full_scale and row.get("family") == "matmul-dense":
+                if columnar is None:
+                    problems.append(f"{label}: dense row lacks a columnar measurement")
+                elif columnar < 2.0:
+                    problems.append(
+                        f"{label}: columnar end-to-end speedup "
+                        f"{columnar:.2f}x below the 2.0x gate"
+                    )
+            elif columnar is not None and columnar < 0.8:
+                problems.append(
+                    f"{label}: columnar badly slower than pytuple "
+                    f"(speedup {columnar:.2f}x)"
                 )
     elif suite == "planner":
         if document["worst_vs_auto"] > 1.1:

@@ -70,7 +70,8 @@ class ValueCodec:
     cost are paid once per (value, salt).
     """
 
-    __slots__ = ("_codes", "_values", "_encoded", "_hash_tables")
+    __slots__ = ("_codes", "_values", "_encoded", "_hash_tables",
+                 "_int_table", "_int_state")
 
     def __init__(self) -> None:
         self._codes: Dict[Any, int] = {}
@@ -80,6 +81,11 @@ class ValueCodec:
         self._encoded: Dict[int, bytes] = {}
         #: salt -> (uint64 hash table, bool "known" mask), aligned to codes.
         self._hash_tables: Dict[int, Tuple[Any, Any]] = {}
+        #: lazy int64 *value* table for value-ordered sorts: per code, the
+        #: value itself when it is a plain bounded int (state 1), else a
+        #: "not numeric" marker (state 2); state 0 = not probed yet.
+        self._int_table: Any = None
+        self._int_state: Any = None
 
     def __len__(self) -> int:
         return len(self._values)
@@ -147,6 +153,39 @@ class ValueCodec:
     def buckets(self, ids: Any, buckets: int, salt: int) -> Any:
         """``hash_to_bucket(value, buckets, salt)`` of each id (int64)."""
         return (self.hashes(ids, salt) % np.uint64(buckets)).astype(np.int64)
+
+    def int_values(self, ids: Any) -> Optional[Any]:
+        """The interned *values* of ``ids`` as an int64 array, or None.
+
+        Only plain ints within ±2^62 qualify (bools and anything else make
+        the caller fall back to Python comparison).  Sorting these arrays
+        orders identically to sorting the original values.
+        """
+        size = len(self._values)
+        if self._int_state is None or self._int_state.shape[0] < size:
+            table = np.zeros(size, dtype=np.int64)
+            state = np.zeros(size, dtype=np.int8)
+            if self._int_state is not None and self._int_state.shape[0]:
+                table[: self._int_table.shape[0]] = self._int_table
+                state[: self._int_state.shape[0]] = self._int_state
+            self._int_table, self._int_state = table, state
+        table, state = self._int_table, self._int_state
+        probe = state[ids] == 0
+        if probe.any():
+            store = self._values
+            limit = 1 << 62
+            for code in np.unique(ids[probe]).tolist():
+                value = store[code]
+                if type(value) is int and -limit < value < limit:
+                    table[code] = value
+                    state[code] = 1
+                else:
+                    state[code] = 2
+        if ids.shape[0] == 0:
+            return table[:0]
+        if (state[ids] == 1).all():
+            return table[ids]
+        return None
 
     def units(self, ids: Any, salt: int) -> Any:
         """``hash_to_unit(value, salt)`` of each id.

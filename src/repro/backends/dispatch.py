@@ -33,12 +33,13 @@ __all__ = [
     "BACKENDS",
     "HAS_NUMPY",
     "np",
+    "columnar_enabled",
     "numpy_enabled",
     "resolve_backend",
 ]
 
 #: The legal ``backend=`` values at every public entry point.
-BACKENDS = ("pytuple", "numpy", "auto")
+BACKENDS = ("pytuple", "numpy", "auto", "columnar")
 
 #: ``auto`` only picks numpy above this total input size: below it the
 #: per-call array setup costs more than the loops it replaces.
@@ -53,8 +54,10 @@ def resolve_backend(backend: Optional[str], total_size: Optional[int] = None) ->
         raise ValueError(
             f"unknown backend {backend!r}; choose from {', '.join(BACKENDS)}"
         )
-    if backend == "numpy" and not HAS_NUMPY:
-        raise RuntimeError("backend='numpy' requested but numpy is not installed")
+    if backend in ("numpy", "columnar") and not HAS_NUMPY:
+        raise RuntimeError(
+            f"backend={backend!r} requested but numpy is not installed"
+        )
     if backend == "auto":
         if not HAS_NUMPY:
             return "pytuple"
@@ -67,13 +70,32 @@ def resolve_backend(backend: Optional[str], total_size: Optional[int] = None) ->
 def numpy_enabled(view) -> bool:
     """True when primitives on ``view`` should take their vectorized path.
 
-    Requires numpy, a cluster resolved to the numpy backend, and no fault
-    injector (the injector rewrites inboxes item-at-a-time).
+    Requires numpy, a cluster resolved to the numpy or columnar backend,
+    and no fault injector (the injector rewrites inboxes item-at-a-time).
     """
     if not HAS_NUMPY:
         return False
     cluster = view.cluster
     return (
-        getattr(cluster, "backend", "pytuple") == "numpy"
+        getattr(cluster, "backend", "pytuple") in ("numpy", "columnar")
+        and cluster.faults is None
+    )
+
+
+def columnar_enabled(view) -> bool:
+    """True when primitives on ``view`` may also move *arrays* end-to-end.
+
+    The ``"columnar"`` backend is ``"numpy"`` plus array-shipping exchanges
+    (:meth:`~repro.mpc.cluster.ClusterView.exchange_batches`): datasets stay
+    as :class:`~repro.mpc.columnar.ColumnarData` batches across rounds and
+    only decode at boundaries that still need tuples.  Routing decisions,
+    delivery order, and per-server counts are identical to the item path,
+    so meters and traces are bit-identical by construction.
+    """
+    if not HAS_NUMPY:
+        return False
+    cluster = view.cluster
+    return (
+        getattr(cluster, "backend", "pytuple") == "columnar"
         and cluster.faults is None
     )

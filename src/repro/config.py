@@ -27,10 +27,13 @@ class ExecutionConfig:
 
     ``backend`` is one of ``"pytuple"`` (portable reference kernels,
     default), ``"numpy"`` (vectorized columnar kernels, identical results
-    and meters), or ``"auto"`` (numpy when available and the instance is
-    large enough to amortize encoding).  ``fault_schedule`` (a
-    :class:`~repro.mpc.faults.FaultSchedule`) forces the pytuple kernels
-    for the faulted run — recovery replays inboxes item-at-a-time.
+    and meters), ``"columnar"`` (end-to-end array execution: relations
+    load as code columns and exchanges ship batches — still identical
+    results and meters), or ``"auto"`` (numpy when available and the
+    instance is large enough to amortize encoding).  ``fault_schedule``
+    (a :class:`~repro.mpc.faults.FaultSchedule`) forces the pytuple
+    kernels for the faulted run — recovery replays inboxes
+    item-at-a-time.
     """
 
     p: int = 8

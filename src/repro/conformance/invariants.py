@@ -18,6 +18,10 @@ Every invariant is a function ``check(case, config) -> None`` raising
 * ``opaque-discipline`` — algorithms run over
   :class:`~repro.testing.OpaqueSemiring` touch annotations only through
   ⊕/⊗ and still produce the exact counting answer;
+* ``columnar-identity`` (opt-in) — the ``"columnar"`` backend is
+  *bit-identical* to the ``"pytuple"`` reference: every applicable
+  algorithm produces the same answer, the same serialized cost report,
+  and the same trace event stream on both backends;
 * ``planner-choice`` (opt-in, like ``chaos`` — registered in
   :data:`INVARIANTS` but not :data:`DEFAULT_INVARIANTS`) — cost-based
   dispatch picks an algorithm from ``applicable_algorithms``, reproduces
@@ -46,6 +50,7 @@ __all__ = [
     "check_permutation",
     "check_scaling",
     "check_opaque_discipline",
+    "check_columnar_identity",
     "check_planner_choice",
 ]
 
@@ -282,6 +287,52 @@ def check_opaque_discipline(case: FuzzCase, config) -> None:
             )
 
 
+def check_columnar_identity(case: FuzzCase, config) -> None:
+    """The columnar backend is bit-identical to the reference backend.
+
+    Every applicable algorithm runs twice — ``backend="pytuple"`` and
+    ``backend="columnar"`` — and the answers (tuples *and* annotations),
+    the serialized cost reports, and the full trace event streams must
+    match exactly.  Opt-in like ``planner-choice`` (and a no-op without
+    numpy): the default campaign already cycles ``differential`` per
+    backend, while this invariant pins the stronger meter/trace contract.
+    """
+    from ..backends.dispatch import HAS_NUMPY
+    from ..config import ExecutionConfig
+    from ..obs.events import RingBufferSink, Tracer, event_to_dict
+
+    if not HAS_NUMPY:
+        return
+    instance = materialize(case)
+    for algorithm in applicable_algorithms(case.query):
+        outcomes = {}
+        for backend in ("pytuple", "columnar"):
+            sink = RingBufferSink()
+            result = run_query(
+                instance,
+                config=ExecutionConfig(
+                    p=config.p,
+                    algorithm=algorithm,
+                    backend=backend,
+                    tracer=Tracer((sink,)),
+                ),
+            )
+            outcomes[backend] = (
+                _result_map(result.relation),
+                result.report.to_dict(),
+                [event_to_dict(event) for event in sink.events],
+            )
+        reference, columnar = outcomes["pytuple"], outcomes["columnar"]
+        for what, index in (("answer", 0), ("cost report", 1), ("trace", 2)):
+            if reference[index] != columnar[index]:
+                raise InvariantViolation(
+                    "columnar-identity",
+                    algorithm,
+                    f"columnar {what} diverges from pytuple over "
+                    f"{case.profile}/{case.skew}",
+                )
+
+
 def check_planner_choice(case: FuzzCase, config) -> None:
     """Cost-based dispatch is sound: legal choice, oracle-exact answer,
     self-consistent plan metadata.
@@ -328,14 +379,16 @@ def check_planner_choice(case: FuzzCase, config) -> None:
 
 #: Name → checker; the runner cycles through this catalog.  The chaos tier
 #: (:mod:`repro.conformance.chaos`) registers its ``"chaos"`` invariant
-#: here too, so corpus replay resolves it by name.  ``planner-choice`` is
-#: registered but opt-in (absent from :data:`DEFAULT_INVARIANTS`).
+#: here too, so corpus replay resolves it by name.  ``planner-choice`` and
+#: ``columnar-identity`` are registered but opt-in (absent from
+#: :data:`DEFAULT_INVARIANTS`).
 INVARIANTS: Dict[str, Callable[[FuzzCase, Any], None]] = {
     "differential": check_differential,
     "homomorphism": check_homomorphism,
     "permutation": check_permutation,
     "scaling": check_scaling,
     "opaque-discipline": check_opaque_discipline,
+    "columnar-identity": check_columnar_identity,
     "planner-choice": check_planner_choice,
 }
 

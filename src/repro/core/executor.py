@@ -96,9 +96,9 @@ def run_query(
 
     ``config`` (an :class:`~repro.config.ExecutionConfig`) supplies every
     knob not given explicitly; explicit arguments win.  ``backend`` selects
-    the kernel implementation (``"pytuple"``/``"numpy"``/``"auto"``, see
-    :mod:`repro.backends`) — results, cost reports, and traces are
-    identical across backends, only wall-clock differs.
+    the kernel implementation (``"pytuple"``/``"numpy"``/``"columnar"``/
+    ``"auto"``, see :mod:`repro.backends`) — results, cost reports, and
+    traces are identical across backends, only wall-clock differs.
 
     ``validate=True`` cross-checks the distributed answer against the
     sequential oracle (annotations included) and raises ``AssertionError``
@@ -372,15 +372,16 @@ def _dispatch(chosen: str, instance: Instance, view: ClusterView) -> DistRelatio
             f"{', '.join(applicable_algorithms(query))}"
         )
     profiler = view.tracker.profiler
+    semiring = instance.semiring
     if profiler is None:
         loaded: Dict[str, DistRelation] = {
-            name: DistRelation.load(view, instance.relation(name))
+            name: DistRelation.load(view, instance.relation(name), semiring)
             for name, _ in query.relations
         }
         return spec.run(instance, view, loaded)
     with profiler.span("load", kind="step"):
         loaded = {
-            name: DistRelation.load(view, instance.relation(name))
+            name: DistRelation.load(view, instance.relation(name), semiring)
             for name, _ in query.relations
         }
     with profiler.span("execute", kind="step"):

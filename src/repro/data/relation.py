@@ -144,9 +144,53 @@ class DistRelation:
         self.data = data
 
     @classmethod
-    def load(cls, view: ClusterView, relation: Relation) -> "DistRelation":
-        """Round-0 placement of a logical relation (free, per the model)."""
+    def load(
+        cls,
+        view: ClusterView,
+        relation: Relation,
+        semiring: Optional[Semiring] = None,
+    ) -> "DistRelation":
+        """Round-0 placement of a logical relation (free, per the model).
+
+        Under the ``"columnar"`` backend (and given the ``semiring``, so
+        the annotation dtype is known), the relation is encoded once into
+        a :class:`~repro.mpc.columnar.ColumnarData` — the same contiguous
+        ⌈n/p⌉ placement, physically stored as int64 code columns plus a
+        typed annotation array.  Anything that does not fit the semiring's
+        profile loads on the reference item path instead.
+        """
+        if semiring is not None:
+            from ..backends.dispatch import columnar_enabled
+
+            if columnar_enabled(view):
+                columnar = cls._load_columnar(view, relation, semiring)
+                if columnar is not None:
+                    return columnar
         return cls(relation.schema, Distributed.from_items(view, list(relation)))
+
+    @classmethod
+    def _load_columnar(
+        cls, view: ClusterView, relation: Relation, semiring: Semiring
+    ) -> Optional["DistRelation"]:
+        from ..backends.batch import ColumnarBatch
+        from ..backends.columnar import encode_annotations, profile_of
+        from ..mpc.columnar import ColumnarData
+
+        profile = profile_of(semiring)
+        if profile is None:
+            return None
+        items = list(relation)
+        annotations = encode_annotations([item[1] for item in items], profile)
+        if annotations is None:
+            return None
+        codec = view.cluster.codec
+        width = len(relation.schema)
+        columns = tuple(
+            codec.encode_many([item[0][j] for item in items])
+            for j in range(width)
+        )
+        batch = ColumnarBatch(columns, annotations, len(items), "items")
+        return cls(relation.schema, ColumnarData.from_batch(view, batch, codec))
 
     @property
     def view(self) -> ClusterView:
@@ -164,12 +208,20 @@ class DistRelation:
             raise KeyError(f"{attribute!r} not in schema {self.schema!r}") from None
 
     def key_fn(self, attributes: Sequence[str]) -> Callable[[AnnotatedTuple], Tuple]:
-        """A function extracting the sub-tuple of ``attributes`` from an item."""
+        """A function extracting the sub-tuple of ``attributes`` from an item.
+
+        The returned callable carries the schema positions it reads as a
+        ``.indices`` attribute, so columnar fast paths can compute the same
+        keys from code columns without decoding items.
+        """
         indices = tuple(self.attr_index(a) for a in attributes)
         if len(indices) == 1:
             index = indices[0]
-            return lambda item: (item[0][index],)
-        return lambda item: tuple(item[0][i] for i in indices)
+            fn = lambda item: (item[0][index],)  # noqa: E731
+        else:
+            fn = lambda item: tuple(item[0][i] for i in indices)  # noqa: E731
+        fn.indices = indices
+        return fn
 
     def with_data(self, data: Distributed) -> "DistRelation":
         """Same schema over a different distributed payload."""

@@ -42,11 +42,13 @@ class MPCCluster:
     it (the default) every delivering operation pays a single ``None``
     check and all meters are bit-identical to a fault-free build.
 
-    ``backend`` (``"pytuple"`` or ``"numpy"``, default ``"pytuple"``)
-    selects the kernel implementation the primitives use for their local
-    work; it never changes what ``exchange`` delivers or meters (see
-    :mod:`repro.backends`).  ``cluster.codec`` is the backend's shared
-    value codec, created lazily on first use.
+    ``backend`` (``"pytuple"``, ``"numpy"``, or ``"columnar"``, default
+    ``"pytuple"``) selects the kernel implementation the primitives use
+    for their local work; ``"columnar"`` additionally ships encoded
+    arrays through ``exchange_batches`` instead of item lists.  No choice
+    changes what is delivered or metered (see :mod:`repro.backends`).
+    ``cluster.codec`` is the backend's shared value codec, created lazily
+    on first use.
 
     ``profiler`` (a :class:`~repro.obs.profile.Profiler`, optional) turns
     on wall-clock span profiling: every delivering operation and
@@ -181,6 +183,140 @@ class ClusterView:
             )
         self.round = round_index + 1
         return inboxes
+
+    def exchange_batches(
+        self,
+        dests: Sequence[Any],
+        batches: Sequence[Any],
+        *,
+        op: str = "exchange",
+    ) -> List[Any]:
+        """One communication round moving *arrays* instead of item lists.
+
+        ``batches[i]`` is local server ``i``'s outgoing
+        :class:`~repro.backends.batch.ColumnarBatch`; ``dests[i]`` is the
+        parallel int64 array of destination local indices (one per row).
+        Returns the per-server inbound batches.
+
+        Delivery order is identical to :meth:`exchange`: each source batch
+        is stably split by destination (rows keep their outbox order) and
+        every inbox concatenates its fragments in source order.  Each
+        server is charged the *logical tuple count* it receives — the sum
+        of its fragments' array lengths — at the current round, so the
+        load/communication meters and the trace event are bit-identical to
+        the item-at-a-time path for the same routing decisions.
+        """
+        from ..backends.batch import ColumnarBatch
+        from ..backends.dispatch import np
+
+        if len(batches) != self.p or len(dests) != self.p:
+            raise RoutingError(
+                f"expected {self.p} outgoing batches, got {len(batches)}"
+            )
+        if self.cluster.faults is not None:
+            raise RoutingError(
+                "exchange_batches under fault injection: the injector "
+                "replays item lists; columnar paths must be gated off"
+            )
+        profiler = self.tracker.profiler
+        if profiler is not None:
+            profiler.start(op, kind="op", backend=self.cluster.backend)
+        try:
+            fragments: List[List[Any]] = [[] for _ in range(self.p)]
+            for dest_array, batch in zip(dests, batches):
+                if batch.size == 0:
+                    continue
+                if dest_array.shape[0] != batch.size:
+                    raise RoutingError("destination array does not match batch")
+                low, high = int(dest_array.min()), int(dest_array.max())
+                if low < 0 or high >= self.p:
+                    bad = low if low < 0 else high
+                    raise RoutingError(
+                        f"destination {bad} outside view of size {self.p}"
+                    )
+                order = np.argsort(dest_array, kind="stable")
+                counts = np.bincount(dest_array, minlength=self.p)
+                bounds = np.concatenate(([0], np.cumsum(counts)))
+                for local in range(self.p):
+                    start, stop = int(bounds[local]), int(bounds[local + 1])
+                    if stop > start:
+                        fragments[local].append(batch.take(order[start:stop]))
+            template = next(b for b in batches if b is not None)
+            inboxes = [
+                ColumnarBatch.concat(parts)
+                if parts
+                else ColumnarBatch.empty(
+                    len(template.columns),
+                    template.annotations is not None,
+                    template.kind,
+                    None
+                    if template.annotations is None
+                    else template.annotations.dtype,
+                )
+                for parts in fragments
+            ]
+            tracker = self.tracker
+            round_index = self.round
+            for local_index, inbox in enumerate(inboxes):
+                tracker.record_receive(
+                    round_index, self.servers[local_index], inbox.size
+                )
+            tracker.note_round(round_index)
+            tracer = tracker.tracer
+            if tracer is not None and tracer.active:
+                tracer.emit(
+                    op,
+                    round_index,
+                    self.servers,
+                    tuple(inbox.size for inbox in inboxes),
+                    tracker.phase_path(),
+                )
+            self.round = round_index + 1
+        except BaseException:
+            if profiler is not None:
+                profiler.stop()
+            raise
+        if profiler is not None:
+            profiler.stop(items=sum(inbox.size for inbox in inboxes))
+        return inboxes
+
+    def broadcast_batches(self, batches: Sequence[Any]) -> Any:
+        """Batch form of :meth:`broadcast`: every server receives the
+        concatenation of all parts; charged the total row count each."""
+        from ..backends.batch import ColumnarBatch
+
+        if self.cluster.faults is not None:
+            raise RoutingError(
+                "broadcast_batches under fault injection: columnar paths "
+                "must be gated off"
+            )
+        profiler = self.tracker.profiler
+        if profiler is not None:
+            profiler.start("broadcast", kind="op", backend=self.cluster.backend)
+        try:
+            everything = ColumnarBatch.concat(list(batches))
+            round_index = self.round
+            tracker = self.tracker
+            for server in self.servers:
+                tracker.record_receive(round_index, server, everything.size)
+            tracker.note_round(round_index)
+            tracer = tracker.tracer
+            if tracer is not None and tracer.active:
+                tracer.emit(
+                    "broadcast",
+                    round_index,
+                    self.servers,
+                    (everything.size,) * self.p,
+                    tracker.phase_path(),
+                )
+            self.round = round_index + 1
+        except BaseException:
+            if profiler is not None:
+                profiler.stop()
+            raise
+        if profiler is not None:
+            profiler.stop(items=everything.size * self.p)
+        return everything
 
     def route(
         self,

@@ -51,8 +51,32 @@ class KMV:
     def merge(self, other: "KMV") -> "KMV":
         if other.k != self.k or other.salt != self.salt:
             raise ValueError("cannot merge KMV sketches with different parameters")
-        merged = tuple(sorted(set(self.values) | set(other.values)))[: self.k]
-        return KMV(self.k, self.salt, merged)
+        # Both sides are sorted and distinct; a linear merge (dedup, stop at
+        # k) yields exactly sorted(set(a) | set(b))[:k] without the set/sort.
+        mine, theirs = self.values, other.values
+        if not theirs:
+            return self
+        if not mine:
+            return other
+        merged_list = []
+        i = j = 0
+        len_mine, len_theirs = len(mine), len(theirs)
+        while len(merged_list) < self.k and i < len_mine and j < len_theirs:
+            a, b = mine[i], theirs[j]
+            if a < b:
+                merged_list.append(a)
+                i += 1
+            elif b < a:
+                merged_list.append(b)
+                j += 1
+            else:
+                merged_list.append(a)
+                i += 1
+                j += 1
+        if len(merged_list) < self.k:
+            tail = mine[i:] if i < len_mine else theirs[j:]
+            merged_list.extend(tail[: self.k - len(merged_list)])
+        return KMV(self.k, self.salt, tuple(merged_list))
 
     def estimate(self) -> float:
         """Distinct-count estimate; exact when fewer than k values were seen."""

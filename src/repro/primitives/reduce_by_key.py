@@ -96,6 +96,7 @@ def _reduce_by_key_columnar(
     """The vectorized both-stages path; None ⇒ caller falls back (and no
     communication has happened yet)."""
     from ..backends.columnar import encode_annotations
+    from ..backends.dispatch import columnar_enabled
     from ..backends.kernels import first_occurrence_unique, group_reduce
 
     view = dist.view
@@ -116,7 +117,7 @@ def _reduce_by_key_columnar(
                 return None
         staged.append((keys, values))
 
-    outboxes: List[List[Any]] = []
+    reduced_parts: List[tuple] = []
     for keys, values in staged:
         key_ids = codec.encode_many(keys)
         if distinct:
@@ -124,18 +125,30 @@ def _reduce_by_key_columnar(
             reduced = None
         else:
             unique_ids, reduced = group_reduce(key_ids, values, profile.add_ufunc)
-        destinations = codec.buckets(unique_ids, p, salt).tolist()
+        destinations = codec.buckets(unique_ids, p, salt)
+        reduced_parts.append((unique_ids, reduced, destinations))
+
+    if columnar_enabled(view) and _uniform_dtype(reduced_parts):
+        # Array-shipping path: the per-part partials go through the wire as
+        # one (key-code column, value array) batch per server — same
+        # destinations, same delivery order, same per-server counts.
+        return _ship_columnar(view, codec, profile, distinct, combine,
+                              reduced_parts)
+
+    outboxes: List[List[Any]] = []
+    for unique_ids, reduced, destinations in reduced_parts:
+        dest_list = destinations.tolist()
         unique_keys = codec.decode_many(unique_ids)
         if distinct:
             outboxes.append(
-                [(dest, (key, None)) for dest, key in zip(destinations, unique_keys)]
+                [(dest, (key, None)) for dest, key in zip(dest_list, unique_keys)]
             )
         else:
             outboxes.append(
                 [
                     (dest, (key, value))
                     for dest, key, value in zip(
-                        destinations, unique_keys, reduced.tolist()
+                        dest_list, unique_keys, reduced.tolist()
                     )
                 ]
             )
@@ -159,6 +172,87 @@ def _reduce_by_key_columnar(
                     totals[key] = value
             vectorized = list(totals.items())
         final_parts.append(vectorized)
+    return Distributed(view, final_parts)
+
+
+def _uniform_dtype(reduced_parts: List[tuple]) -> bool:
+    """True when every non-empty partial array shares one dtype.
+
+    Mixed dtypes (a "number" profile may encode one part as int64 and
+    another as float64) must not concatenate — promotion would turn ints
+    into floats where the reference path keeps the original objects."""
+    dtypes = {
+        reduced.dtype
+        for _ids, reduced, _dests in reduced_parts
+        if reduced is not None and reduced.shape[0]
+    }
+    return len(dtypes) <= 1
+
+
+def _ship_columnar(
+    view: Any,
+    codec: Any,
+    profile: Any,
+    distinct: bool,
+    combine: Callable[[Any, Any], Any],
+    reduced_parts: List[tuple],
+) -> Distributed:
+    """Stage 1→2 over batches: partials ship as arrays, the final fold is
+    the same segment-reduce, and the result stays array-native (consumers
+    that need tuples decode lazily)."""
+    from ..backends.batch import ColumnarBatch
+    from ..backends.dispatch import np
+    from ..backends.kernels import first_occurrence_unique, group_reduce
+    from ..mpc.columnar import ColumnarData
+
+    dests = []
+    batches = []
+    for unique_ids, reduced, destinations in reduced_parts:
+        dests.append(destinations)
+        batches.append(
+            ColumnarBatch((unique_ids,), reduced, int(unique_ids.shape[0]),
+                          "pairs")
+        )
+    inboxes = view.exchange_batches(dests, batches)
+
+    final_batches: List[Any] = []
+    for inbox in inboxes:
+        key_ids = inbox.columns[0]
+        if distinct:
+            unique_ids = first_occurrence_unique(key_ids)
+            final_batches.append(
+                ColumnarBatch((unique_ids,), None, int(unique_ids.shape[0]),
+                              "pairs")
+            )
+            continue
+        values = inbox.annotations
+        if (
+            values.dtype == np.int64
+            and values.shape[0]
+            and max(abs(int(values.max())), abs(int(values.min())))
+            >= _FINAL_INT_LIMIT
+        ):
+            final_batches = None  # oversized partials: dict-fold everywhere
+            break
+        unique_ids, reduced = group_reduce(key_ids, values, profile.add_ufunc)
+        final_batches.append(
+            ColumnarBatch((unique_ids,), reduced, int(unique_ids.shape[0]),
+                          "pairs")
+        )
+    if final_batches is not None:
+        return ColumnarData(view, final_batches, codec)
+
+    # Local fallback after the (already identical) exchange: dict folds over
+    # the decoded pairs, exactly the reference stage 2.
+    final_parts: List[List[Any]] = []
+    for inbox in inboxes:
+        totals: Dict[Any, Any] = {}
+        for key, value in inbox.to_items(codec):
+            if key in totals:
+                totals[key] = combine(totals[key], value)
+            else:
+                totals[key] = value
+        final_parts.append(list(totals.items()))
     return Distributed(view, final_parts)
 
 

@@ -81,6 +81,24 @@ def rng() -> random.Random:
     return random.Random(0xC0FFEE)
 
 
+@pytest.fixture(params=("pytuple", "columnar"))
+def backend(request) -> str:
+    """The kernel backend a parametrized module runs under.
+
+    Modules opt in with a one-line autouse fixture requesting ``backend``;
+    every test in them then runs twice — once on the reference tuple
+    backend and once on the array-native columnar backend — with a single
+    test body.  (The ``"numpy"`` middle tier shares the columnar kernels
+    and stays covered by the modules' default-backend runs elsewhere.)
+    """
+    if request.param != "pytuple":
+        from repro.backends.dispatch import HAS_NUMPY
+
+        if not HAS_NUMPY:
+            pytest.skip("numpy unavailable")
+    return request.param
+
+
 # Common query shapes -----------------------------------------------------------
 
 MATMUL_QUERY = TreeQuery(

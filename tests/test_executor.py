@@ -17,6 +17,17 @@ from repro.workloads import (
 )
 from tests.conftest import GENERAL_TREE_QUERY, MATMUL_QUERY, random_instance
 
+_BACKEND = "pytuple"
+
+
+@pytest.fixture(autouse=True)
+def _sweep_backends(backend):
+    """Run every test in this module under both kernel backends."""
+    global _BACKEND
+    _BACKEND = backend
+    yield
+    _BACKEND = "pytuple"
+
 
 def test_auto_dispatch_matches_oracle_per_class():
     cases = [
@@ -27,7 +38,7 @@ def test_auto_dispatch_matches_oracle_per_class():
         (twig_instance(25, 6, seed=4), "twig", "tree"),
     ]
     for instance, expected_class, expected_algorithm in cases:
-        result = run_query(instance, p=8)
+        result = run_query(instance, p=8, backend=_BACKEND)
         assert result.query_class == expected_class
         assert result.algorithm == expected_algorithm
         assert result.relation.tuples == evaluate(instance).tuples
@@ -39,7 +50,7 @@ def test_free_connex_goes_to_yannakakis():
     query = TreeQuery(MATMUL_QUERY.relations, frozenset({"A", "B", "C"}))
     rng = random.Random(1)
     instance = random_instance(query, 40, 6, rng, COUNTING, lambda r: 1)
-    result = run_query(instance, p=4)
+    result = run_query(instance, p=4, backend=_BACKEND)
     assert result.query_class == "free-connex"
     assert result.algorithm == "yannakakis"
     assert result.relation.tuples == evaluate(instance).tuples
@@ -50,7 +61,7 @@ def test_general_tree_dispatch():
     instance = random_instance(
         GENERAL_TREE_QUERY, 30, 6, rng, COUNTING, lambda r: r.randint(1, 3)
     )
-    result = run_query(instance, p=8)
+    result = run_query(instance, p=8, backend=_BACKEND)
     assert result.query_class == "tree"
     assert result.algorithm == "tree"
     assert result.relation.tuples == evaluate(instance).tuples
@@ -58,8 +69,8 @@ def test_general_tree_dispatch():
 
 def test_forced_baseline_agrees_with_auto():
     instance = star_instance(3, 40, 9, 5, seed=7)
-    auto = run_query(instance, p=8, algorithm="auto")
-    baseline = run_query(instance, p=8, algorithm="yannakakis")
+    auto = run_query(instance, p=8, algorithm="auto", backend=_BACKEND)
+    baseline = run_query(instance, p=8, algorithm="yannakakis", backend=_BACKEND)
     assert auto.relation.tuples == baseline.relation.tuples
     assert baseline.algorithm == "yannakakis"
 
@@ -67,20 +78,20 @@ def test_forced_baseline_agrees_with_auto():
 def test_forced_wrong_algorithm_raises():
     instance = star_instance(3, 20, 6, 4, seed=8)
     with pytest.raises(ValueError):
-        run_query(instance, p=4, algorithm="line")
+        run_query(instance, p=4, algorithm="line", backend=_BACKEND)
     line = line_instance(3, 20, 6, seed=9)
     with pytest.raises(ValueError):
-        run_query(line, p=4, algorithm="star")
+        run_query(line, p=4, algorithm="star", backend=_BACKEND)
 
 
 def test_result_schema_is_sorted_output():
     instance = twig_instance(20, 5, seed=10)
-    result = run_query(instance, p=4)
+    result = run_query(instance, p=4, backend=_BACKEND)
     assert result.relation.schema == tuple(sorted(instance.query.output))
 
 
 def test_supplied_cluster_is_used_and_metered():
-    cluster = MPCCluster(4)
+    cluster = MPCCluster(4, backend=_BACKEND)
     instance = planted_out_matmul(n=100, out=400)
     result = run_query(instance, cluster=cluster)
     assert result.report.total_communication == cluster.report().total_communication
@@ -89,19 +100,19 @@ def test_supplied_cluster_is_used_and_metered():
 
 def test_single_server_execution():
     instance = starlike_instance([1, 1, 2], 20, 6, seed=11)
-    result = run_query(instance, p=1)
+    result = run_query(instance, p=1, backend=_BACKEND)
     assert result.relation.tuples == evaluate(instance).tuples
 
 
 def test_unknown_algorithm_rejected():
     instance = planted_out_matmul(n=50, out=100)
     with pytest.raises(ValueError):
-        run_query(instance, p=2, algorithm="quantum")  # type: ignore[arg-type]
+        run_query(instance, p=2, algorithm="quantum", backend=_BACKEND)  # type: ignore[arg-type]
 
 
 def test_validate_flag_passes_on_correct_runs():
     instance = planted_out_matmul(n=60, out=240)
-    result = run_query(instance, p=4, validate=True)
+    result = run_query(instance, p=4, validate=True, backend=_BACKEND)
     assert result.out_size == len(result.relation)
 
 
@@ -119,6 +130,6 @@ def test_validate_flag_is_a_real_check():
     executor_module._dispatch = sabotaged
     try:
         with pytest.raises(AssertionError):
-            run_query(instance, p=4, validate=True)
+            run_query(instance, p=4, validate=True, backend=_BACKEND)
     finally:
         executor_module._dispatch = original

@@ -12,11 +12,22 @@ from repro.semiring import COUNTING
 from repro.workloads import line_instance, planted_out_line
 from tests.conftest import SEMIRING_SAMPLERS, canonicalize
 
+_BACKEND = "pytuple"
+
+
+@pytest.fixture(autouse=True)
+def _sweep_backends(backend):
+    """Run every test in this module under both kernel backends."""
+    global _BACKEND
+    _BACKEND = backend
+    yield
+    _BACKEND = "pytuple"
+
 
 def _run(instance, p=8):
     query = instance.query
     order = query.path_order()
-    cluster = MPCCluster(p)
+    cluster = MPCCluster(p, backend=_BACKEND)
     view = cluster.view()
     rels = []
     for i in range(len(order) - 1):
@@ -24,7 +35,7 @@ def _run(instance, p=8):
             n for n, attrs in query.relations
             if set(attrs) == {order[i], order[i + 1]}
         )
-        rels.append(DistRelation.load(view, instance.relation(name)))
+        rels.append(DistRelation.load(view, instance.relation(name), instance.semiring))
     result = line_query(rels, order, instance.semiring)
     return cluster, result
 

@@ -24,12 +24,23 @@ from repro.semiring import COUNTING, TROPICAL_MIN_PLUS
 from repro.workloads import planted_out_matmul, random_sparse_matmul, zipf_matmul
 from tests.conftest import MATMUL_QUERY, SEMIRING_SAMPLERS, random_instance
 
+_BACKEND = "pytuple"
+
+
+@pytest.fixture(autouse=True)
+def _sweep_backends(backend):
+    """Run every test in this module under both kernel backends."""
+    global _BACKEND
+    _BACKEND = backend
+    yield
+    _BACKEND = "pytuple"
+
 
 def _loaded(instance, p, reduce=True):
-    cluster = MPCCluster(p)
+    cluster = MPCCluster(p, backend=_BACKEND)
     view = cluster.view()
     rels = {
-        name: DistRelation.load(view, instance.relation(name))
+        name: DistRelation.load(view, instance.relation(name), instance.semiring)
         for name, _ in instance.query.relations
     }
     if reduce:

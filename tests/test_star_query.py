@@ -12,10 +12,21 @@ from repro.semiring import COUNTING, WHY_PROVENANCE
 from repro.workloads import planted_out_star, star_instance
 from tests.conftest import SEMIRING_SAMPLERS, canonicalize
 
+_BACKEND = "pytuple"
+
+
+@pytest.fixture(autouse=True)
+def _sweep_backends(backend):
+    """Run every test in this module under both kernel backends."""
+    global _BACKEND
+    _BACKEND = backend
+    yield
+    _BACKEND = "pytuple"
+
 
 def _run(instance, p=8):
     query = instance.query
-    cluster = MPCCluster(p)
+    cluster = MPCCluster(p, backend=_BACKEND)
     view = cluster.view()
     centre = next(
         a for a in query.attributes
@@ -25,7 +36,7 @@ def _run(instance, p=8):
     rels = []
     for name, attrs in query.relations:
         arm_attrs.append(attrs[0] if attrs[1] == centre else attrs[1])
-        rels.append(DistRelation.load(view, instance.relation(name)))
+        rels.append(DistRelation.load(view, instance.relation(name), instance.semiring))
     result = star_query(rels, arm_attrs, centre, instance.semiring)
     return cluster, result
 

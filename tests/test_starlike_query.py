@@ -13,12 +13,23 @@ from repro.semiring import COUNTING
 from repro.workloads import starlike_instance
 from tests.conftest import SEMIRING_SAMPLERS
 
+_BACKEND = "pytuple"
+
+
+@pytest.fixture(autouse=True)
+def _sweep_backends(backend):
+    """Run every test in this module under both kernel backends."""
+    global _BACKEND
+    _BACKEND = backend
+    yield
+    _BACKEND = "pytuple"
+
 
 def _run(instance, p=8):
-    cluster = MPCCluster(p)
+    cluster = MPCCluster(p, backend=_BACKEND)
     view = cluster.view()
     rels = {
-        name: DistRelation.load(view, instance.relation(name))
+        name: DistRelation.load(view, instance.relation(name), instance.semiring)
         for name, _ in instance.query.relations
     }
     result = starlike_query(instance.query, rels, instance.semiring)

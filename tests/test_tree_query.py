@@ -18,11 +18,23 @@ from tests.conftest import (
 )
 
 
+_BACKEND = "pytuple"
+
+
+@pytest.fixture(autouse=True)
+def _sweep_backends(backend):
+    """Run every test in this module under both kernel backends."""
+    global _BACKEND
+    _BACKEND = backend
+    yield
+    _BACKEND = "pytuple"
+
+
 def _run(instance, p=8):
-    cluster = MPCCluster(p)
+    cluster = MPCCluster(p, backend=_BACKEND)
     view = cluster.view()
     rels = {
-        name: DistRelation.load(view, instance.relation(name))
+        name: DistRelation.load(view, instance.relation(name), instance.semiring)
         for name, _ in instance.query.relations
     }
     result = tree_query(instance.query, rels, instance.semiring)

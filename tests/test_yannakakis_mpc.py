@@ -22,6 +22,17 @@ from tests.conftest import (
 
 ALL_QUERIES = [MATMUL_QUERY, LINE3_QUERY, STAR3_QUERY, TWIG_QUERY, GENERAL_TREE_QUERY]
 
+_BACKEND = "pytuple"
+
+
+@pytest.fixture(autouse=True)
+def _sweep_backends(backend):
+    """Run every test in this module under both kernel backends."""
+    global _BACKEND
+    _BACKEND = backend
+    yield
+    _BACKEND = "pytuple"
+
 
 @pytest.mark.parametrize("query", ALL_QUERIES, ids=lambda q: q.classify())
 @pytest.mark.parametrize(
@@ -30,7 +41,7 @@ ALL_QUERIES = [MATMUL_QUERY, LINE3_QUERY, STAR3_QUERY, TWIG_QUERY, GENERAL_TREE_
 def test_baseline_matches_oracle(query, semiring, sampler):
     rng = random.Random(hash((query.classify(), getattr(semiring, "name", ""))) & 0xFFFF)
     instance = random_instance(query, 60, 7, rng, semiring, sampler)
-    cluster = MPCCluster(8)
+    cluster = MPCCluster(8, backend=_BACKEND)
     got = yannakakis_mpc(instance, cluster.view())
     want = evaluate(instance)
     schema = tuple(sorted(query.output))
@@ -45,7 +56,7 @@ def test_baseline_any_cluster_size(p):
     instance = random_instance(
         LINE3_QUERY, 70, 9, rng, COUNTING, lambda r: r.randint(1, 3)
     )
-    cluster = MPCCluster(p)
+    cluster = MPCCluster(p, backend=_BACKEND)
     got = yannakakis_mpc(instance, cluster.view())
     assert got.same_contents(evaluate(instance))
 
@@ -54,7 +65,7 @@ def test_baseline_empty_result():
     r1 = Relation("R1", ("A", "B"), [((0, 0), 1)])
     r2 = Relation("R2", ("B", "C"), [((1, 1), 1)])
     instance = Instance(MATMUL_QUERY, {"R1": r1, "R2": r2}, COUNTING)
-    cluster = MPCCluster(4)
+    cluster = MPCCluster(4, backend=_BACKEND)
     got = yannakakis_mpc(instance, cluster.view())
     assert len(got) == 0
 
@@ -63,7 +74,7 @@ def test_baseline_single_relation_query():
     query = TreeQuery((("R", ("A", "B")),), frozenset({"A"}))
     relation = Relation("R", ("A", "B"), [((0, 0), 2), ((0, 1), 3), ((1, 0), 4)])
     instance = Instance(query, {"R": relation}, COUNTING)
-    cluster = MPCCluster(4)
+    cluster = MPCCluster(4, backend=_BACKEND)
     got = yannakakis_mpc(instance, cluster.view())
     assert got.tuples == {(0,): 5, (1,): 4}
 
@@ -76,7 +87,7 @@ def test_baseline_load_tracks_intermediate_size():
     instance = Instance(MATMUL_QUERY, {"R1": r1, "R2": r2}, COUNTING)
     _oracle, j = run_yannakakis(instance)
     p = 8
-    cluster = MPCCluster(p)
+    cluster = MPCCluster(p, backend=_BACKEND)
     yannakakis_mpc(instance, cluster.view())
     load = cluster.report().max_load
     assert j == n * n
@@ -91,7 +102,7 @@ def test_baseline_rounds_constant_in_data_size():
         instance = random_instance(
             STAR3_QUERY, tuples, 8, rng, COUNTING, lambda r: 1
         )
-        cluster = MPCCluster(8)
+        cluster = MPCCluster(8, backend=_BACKEND)
         yannakakis_mpc(instance, cluster.view())
         rounds.append(cluster.report().rounds)
     assert rounds[0] == rounds[1]  # rounds depend on the query, not the data
