@@ -1,0 +1,179 @@
+"""Process-mode benchmark: sequential vs worker-pool wall-clock.
+
+The ``"process"`` execution mode promises two things: answers, cost
+reports, and traces that are *bit-identical* to the sequential simulator
+at any worker count, and wall-clock wins on the dense heavy-aggregation
+instances whose chunked join kernels dominate the run.  This script
+measures both — identity is asserted before any timing, then
+``run_query`` on the columnar backend is timed across a worker sweep
+(1 / 2 / 4) on the same dense matmul instances ``bench_backends.py``
+uses for its end-to-end tier.
+
+The document records ``cores`` (the CPUs this process may use): speedup
+on a single-core container is physically impossible — the workers
+time-slice one CPU and IPC is pure overhead — so the ≥ 1.5× dense-family
+gate in ``regression.py`` only arms when the committed document was
+measured with ``cores >= 4`` at full scale.  Numbers from a smaller
+machine are committed as honest environment-limited measurements, never
+extrapolated.
+
+Results land in ``BENCH_parallel.json`` (repo root by default)::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py [--tiny] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Any, Callable, Dict, List
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.backends.dispatch import HAS_NUMPY
+from repro.config import ExecutionConfig
+from repro.core.executor import run_query
+from repro.workloads import random_sparse_matmul
+
+WORKER_SWEEP = (1, 2, 4)
+
+
+def _cores() -> int:
+    """CPUs available to this process (affinity-aware when possible)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _time(fn: Callable[[], Any], repeats: int) -> float:
+    """Best-of-``repeats`` wall-clock seconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_instance(
+    family: str, instance: Any, n: int, p: int, repeats: int
+) -> Dict[str, Any]:
+    """One dense instance across the worker sweep, identity checked first."""
+
+    def run(workers: int):
+        return run_query(
+            instance,
+            config=ExecutionConfig(p=p, backend="columnar", workers=workers),
+        )
+
+    reference = run(1)
+    for workers in WORKER_SWEEP[1:]:
+        other = run(workers)  # also warms the pool before timing
+        assert reference.relation.tuples == other.relation.tuples, \
+            f"workers={workers}: disagrees on the answer"
+        assert reference.report.to_dict() == other.report.to_dict(), \
+            f"workers={workers}: disagrees on the metered cost report"
+
+    timings = {
+        str(workers): _time(lambda w=workers: run(w), repeats)
+        for workers in WORKER_SWEEP
+    }
+    seq_s = timings["1"]
+    row = {
+        "family": family,
+        "n": n,
+        "out": len(reference.relation),
+        "p": p,
+        "input_size": instance.total_size,
+        "max_load": reference.report.max_load,
+        "workers_s": timings,
+        "identical": True,
+    }
+    for workers in WORKER_SWEEP[1:]:
+        parallel_s = timings[str(workers)]
+        row[f"speedup_{workers}"] = (
+            seq_s / parallel_s if parallel_s > 0 else float("inf")
+        )
+    return row
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tiny", action="store_true",
+                        help="CI smoke scale (seconds, not minutes)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats per measurement (best is kept)")
+    parser.add_argument("--out", default=os.path.join(
+        os.path.dirname(__file__), "..", "BENCH_parallel.json"),
+        metavar="PATH", help="result JSON destination (default: repo root)")
+    args = parser.parse_args(argv)
+
+    if not HAS_NUMPY:
+        print("numpy unavailable: nothing to benchmark", file=sys.stderr)
+        return 1
+
+    # The dense heavy-aggregation regime (products ≫ OUT) is where the
+    # chunked join-reduce kernels carry the run — the same instances as
+    # bench_backends.py's dense end-to-end tier, so the two documents'
+    # sequential columns cross-check each other.
+    if args.tiny:
+        instances = [
+            ("matmul-dense", random_sparse_matmul(4000, 4000, 150, 60, 150), 4000),
+        ]
+    else:
+        instances = [
+            ("matmul-dense",
+             random_sparse_matmul(20_000, 20_000, 400, 60, 400), 20_000),
+            ("matmul-dense",
+             random_sparse_matmul(40_000, 40_000, 600, 80, 600), 40_000),
+        ]
+
+    rows = [
+        bench_instance(family, instance, n, 16, args.repeats)
+        for family, instance, n in instances
+    ]
+
+    cores = _cores()
+    document = {
+        "scale": "tiny" if args.tiny else "full",
+        "repeats": args.repeats,
+        "cores": cores,
+        "workers": list(WORKER_SWEEP),
+        "rows": rows,
+    }
+    path = os.path.normpath(args.out)
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+
+    for row in rows:
+        sweep = "  ".join(
+            f"w{workers}={row['workers_s'][str(workers)]:.3f}s"
+            for workers in WORKER_SWEEP
+        )
+        print(f"{row['family']} n={row['n']} OUT={row['out']} p={row['p']}: "
+              f"{sweep}  speedup@4={row['speedup_4']:.2f}x "
+              f"(identity asserted)")
+    print(f"cores={cores}  written: {path}")
+
+    # The wall-clock gate needs real parallel hardware; on fewer than 4
+    # cores the sweep is an overhead measurement, reported but not gated.
+    if cores >= 4 and not args.tiny:
+        if any(row["speedup_4"] < 1.5 for row in rows
+               if row["family"] == "matmul-dense"):
+            print("FAIL: dense matmul below 1.5x at 4 workers on "
+                  f"{cores} cores", file=sys.stderr)
+            return 1
+    elif cores < 4:
+        print(f"note: {cores} core(s) visible — speedup gate not armed "
+              "(workers time-slice one CPU; IPC is pure overhead here)",
+              file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

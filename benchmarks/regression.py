@@ -1,8 +1,11 @@
 """Perf-regression observatory over the committed benchmark baselines.
 
-The repo commits two machine-readable benchmark documents at the root —
+The repo commits three machine-readable benchmark documents at the root —
 ``BENCH_kernels.json`` (pytuple vs numpy wall-clock, written by
-``bench_backends.py``) and ``BENCH_planner.json`` (cost-based planner
+``bench_backends.py``), ``BENCH_parallel.json`` (sequential vs
+worker-pool wall-clock, written by ``bench_parallel.py``; its dense
+≥ 1.5× speedup gate arms only when the document was measured on ≥ 4
+cores at full scale), and ``BENCH_planner.json`` (cost-based planner
 regret sweep, written by ``bench_planner.py``).  This script turns them
 from write-only artifacts into a regression gate:
 
@@ -52,11 +55,19 @@ __all__ = [
     "Metric",
     "Finding",
     "normalize_kernels",
+    "normalize_parallel",
     "normalize_planner",
     "compare_metrics",
     "validate_baseline",
     "main",
 ]
+
+#: Dense-family speedup the committed full-scale BENCH_parallel.json must
+#: show at 4 workers — armed only when the document was measured on >= 4
+#: cores (PARALLEL_MIN_CORES); a single-core container time-slices the
+#: workers, so its honest numbers are environment-limited, not gated.
+PARALLEL_SPEEDUP_GATE = 1.5
+PARALLEL_MIN_CORES = 4
 
 #: Wall-clock regression factor that fails the gate.
 WALL_FAIL = 1.3
@@ -71,6 +82,7 @@ DETERMINISTIC_FAIL = 1.1
 _ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir))
 KERNELS_BASELINE = os.path.join(_ROOT, "BENCH_kernels.json")
 PLANNER_BASELINE = os.path.join(_ROOT, "BENCH_planner.json")
+PARALLEL_BASELINE = os.path.join(_ROOT, "BENCH_parallel.json")
 
 
 @dataclass(frozen=True)
@@ -133,6 +145,24 @@ def normalize_kernels(document: Dict[str, Any]) -> List[Metric]:
     return metrics
 
 
+def normalize_parallel(document: Dict[str, Any]) -> List[Metric]:
+    """Flatten a ``BENCH_parallel.json`` document into metrics."""
+    metrics: List[Metric] = []
+    for row in document.get("rows", ()):
+        base = f"parallel/{row['family']}-n{row['n']}-p{row['p']}"
+        for workers, seconds in sorted(
+            row.get("workers_s", {}).items(), key=lambda kv: int(kv[0])
+        ):
+            metrics.append(Metric(f"{base}/w{workers}_s", seconds, "wall"))
+        for key in sorted(row):
+            if key.startswith("speedup_"):
+                metrics.append(
+                    Metric(f"{base}/{key}", row[key], "ratio", "higher")
+                )
+        metrics.append(Metric(f"{base}/max_load", row["max_load"], "load"))
+    return metrics
+
+
 def normalize_planner(document: Dict[str, Any]) -> List[Metric]:
     """Flatten a ``BENCH_planner.json`` document into metrics."""
     metrics = [
@@ -178,6 +208,38 @@ def validate_baseline(suite: str, document: Dict[str, Any]) -> List[str]:
                 problems.append(
                     f"{label}: columnar badly slower than pytuple "
                     f"(speedup {columnar:.2f}x)"
+                )
+    elif suite == "parallel":
+        full_scale = document.get("scale") == "full"
+        cores = int(document.get("cores", 0))
+        for row in document.get("rows", ()):
+            label = f"{row.get('family', 'matmul')} n={row['n']} p={row['p']}"
+            if not row.get("identical", False):
+                problems.append(
+                    f"{label}: worker counts' answers/reports differ"
+                )
+            speedup = row.get("speedup_4")
+            if speedup is None:
+                problems.append(f"{label}: row lacks a speedup_4 measurement")
+                continue
+            # The wall-clock gate only arms on real parallel hardware at
+            # full scale; a document measured on fewer cores records
+            # honest environment-limited numbers (workers time-slice one
+            # CPU) that no threshold can meaningfully judge.
+            if full_scale and cores >= PARALLEL_MIN_CORES:
+                if row.get("family") == "matmul-dense" and (
+                    speedup < PARALLEL_SPEEDUP_GATE
+                ):
+                    problems.append(
+                        f"{label}: process-mode speedup {speedup:.2f}x at 4 "
+                        f"workers below the {PARALLEL_SPEEDUP_GATE}x gate "
+                        f"on {cores} cores"
+                    )
+            elif speedup < 0.5:
+                problems.append(
+                    f"{label}: process mode {1 / speedup:.1f}x slower than "
+                    "sequential — dispatch overhead out of control even "
+                    "for a time-sliced environment"
                 )
     elif suite == "planner":
         if document["worst_vs_auto"] > 1.1:
@@ -341,6 +403,7 @@ def _record_trend(harness, findings: List[Finding], caption: str) -> None:
 
 _SUITES = {
     "kernels": ("bench_backends.py", KERNELS_BASELINE, normalize_kernels),
+    "parallel": ("bench_parallel.py", PARALLEL_BASELINE, normalize_parallel),
     "planner": ("bench_planner.py", PLANNER_BASELINE, normalize_planner),
 }
 
@@ -359,9 +422,13 @@ def main(argv=None) -> int:
                         "report-only by construction)")
     parser.add_argument("--fresh-kernels", default=None, metavar="PATH",
                         help="pre-made fresh BENCH_kernels.json to compare")
+    parser.add_argument("--fresh-parallel", default=None, metavar="PATH",
+                        help="pre-made fresh BENCH_parallel.json to compare")
     parser.add_argument("--fresh-planner", default=None, metavar="PATH",
                         help="pre-made fresh BENCH_planner.json to compare")
     parser.add_argument("--baseline-kernels", default=KERNELS_BASELINE,
+                        metavar="PATH", help=argparse.SUPPRESS)
+    parser.add_argument("--baseline-parallel", default=PARALLEL_BASELINE,
                         metavar="PATH", help=argparse.SUPPRESS)
     parser.add_argument("--baseline-planner", default=PLANNER_BASELINE,
                         metavar="PATH", help=argparse.SUPPRESS)
@@ -376,8 +443,11 @@ def main(argv=None) -> int:
                         help="print the findings as JSON")
     args = parser.parse_args(argv)
 
-    fresh_paths = {"kernels": args.fresh_kernels, "planner": args.fresh_planner}
+    fresh_paths = {"kernels": args.fresh_kernels,
+                   "parallel": args.fresh_parallel,
+                   "planner": args.fresh_planner}
     baseline_paths = {"kernels": args.baseline_kernels,
+                      "parallel": args.baseline_parallel,
                       "planner": args.baseline_planner}
     all_findings: List[Finding] = []
     problems: List[str] = []

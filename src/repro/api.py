@@ -26,7 +26,10 @@ executor-shaped entry points, :class:`~repro.conformance.FuzzConfig` for
 the campaigns) and returns structured data — no printing, no process exit
 codes.  Results, cost reports, and traces are backend-independent: an
 ``ExecutionConfig(backend="numpy")`` run is bit-identical to the default
-``"pytuple"`` one, only faster.
+``"pytuple"`` one, only faster.  The same contract covers the process
+execution mode: ``ExecutionConfig(workers=4)`` dispatches the
+data-parallel kernels to a persistent OS worker pool
+(:mod:`repro.mpc.pool`) and stays bit-identical to ``workers=1``.
 """
 
 from __future__ import annotations

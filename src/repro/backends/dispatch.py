@@ -35,6 +35,7 @@ __all__ = [
     "np",
     "columnar_enabled",
     "numpy_enabled",
+    "process_enabled",
     "resolve_backend",
 ]
 
@@ -80,6 +81,43 @@ def numpy_enabled(view) -> bool:
         getattr(cluster, "backend", "pytuple") in ("numpy", "columnar")
         and cluster.faults is None
     )
+
+
+def process_enabled(view) -> bool:
+    """True when kernels on ``view`` may dispatch to the OS worker pool.
+
+    The ``"process"`` execution mode (``ExecutionConfig(workers=…)``)
+    chunks the data-parallel kernels — vectorized local joins and
+    ``exchange_batches`` splits — across spawned workers.  It composes
+    with :func:`numpy_enabled`/:func:`columnar_enabled` (the pool only
+    ever accelerates their array paths) and falls back to fully
+    sequential execution whenever:
+
+    * fault injection is active (the injector rewrites inboxes
+      item-at-a-time on the tuple path);
+    * a profiler is attached or activated — ``Profiler`` activation is a
+      module global and kernel spans recorded inside a worker process
+      would be invisible to the parent's profile (and to the
+      ``MetricsRegistry`` counters fed from it), so profiled runs are
+      pinned to the sequential engine rather than silently dropping
+      spans (see ``docs/observability.md``);
+    * the semiring has no annotation profile — opaque/unpicklable ⊕/⊗
+      callables never reach a worker because only profile-vectorized
+      kernels dispatch (this falls out of the ``vec``-context gates).
+
+    Meters cannot move either way: routing, codec interning, and load
+    accounting stay in the parent unconditionally.
+    """
+    if not HAS_NUMPY:
+        return False
+    cluster = view.cluster
+    if getattr(cluster, "workers", 1) <= 1:
+        return False
+    if cluster.faults is not None or cluster.tracker.profiler is not None:
+        return False
+    from ..obs import profile as _profile
+
+    return _profile._ACTIVE is None
 
 
 def columnar_enabled(view) -> bool:

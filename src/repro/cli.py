@@ -40,7 +40,9 @@ hotspot table / speedscope profile of every run the command makes; with
 profiling off the outputs are byte-identical to earlier releases).  Every
 command takes ``--backend`` to select the kernel implementation
 (``pytuple``/``numpy``/``auto``) — outputs are identical across backends,
-only wall-clock differs.
+only wall-clock differs — and ``--workers N`` to enable the process
+execution mode (a persistent OS worker pool runs the data-parallel
+kernels; outputs stay bit-identical at any worker count).
 
 The commands are thin argparse shells: all the work happens in
 :mod:`repro.api`, so anything printed here is available as structured data
@@ -137,6 +139,10 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--backend", choices=BACKENDS, default="pytuple",
                        help="kernel backend (results and meters are "
                        "identical; numpy is faster on large instances)")
+        p.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="OS worker processes for the process execution "
+                       "mode (default: 1 = sequential; answers, meters, and "
+                       "traces are bit-identical at any worker count)")
 
     def add_export(p: argparse.ArgumentParser) -> None:
         p.add_argument("--json", action="store_true",
@@ -357,7 +363,7 @@ def _command_compare(args: argparse.Namespace) -> int:
               f"class={instance.query.classify()}")
     config = ExecutionConfig(p=args.p, algorithm=args.algorithm,
                              backend=args.backend, tracer=tracer,
-                             profiler=profiler)
+                             profiler=profiler, workers=args.workers)
     try:
         result = api.compare(instance, config, scope=args.family)
     except AssertionError:
@@ -405,7 +411,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
     profiler = _profiler_for(args)
     config = ExecutionConfig(p=args.p, algorithm=args.algorithm,
                              backend=args.backend, tracer=tracer,
-                             profiler=profiler)
+                             profiler=profiler, workers=args.workers)
     matmul = args.family == "matmul"
     knob_name = "OUT" if matmul else "tuples"
     points: List[Dict[str, Any]] = []
@@ -481,7 +487,7 @@ def _command_table1(args: argparse.Namespace) -> int:
     tracer = _tracer_for(args)
     profiler = _profiler_for(args)
     config = ExecutionConfig(p=args.p, backend=args.backend, tracer=tracer,
-                             profiler=profiler)
+                             profiler=profiler, workers=args.workers)
     try:
         rows = api.table1(scale=args.scale, config=config, families=args.families)
     except (AssertionError, ValueError) as error:
@@ -520,7 +526,7 @@ def _command_explain(args: argparse.Namespace) -> int:
     """Print the planner's candidate table for one instance, no execution."""
     instance = _families()[args.family](args)
     config = ExecutionConfig(p=args.p, backend=args.backend,
-                             stats_mode=args.stats_mode)
+                             stats_mode=args.stats_mode, workers=args.workers)
     plan = api.explain(instance, config)
     if args.json:
         print(json.dumps(plan.to_dict(), indent=2, sort_keys=True))
@@ -540,7 +546,8 @@ def _command_trace(args: argparse.Namespace) -> int:
         sinks.append(JsonlSink(args.trace_out))
     tracer = Tracer(sinks, scope=args.family)
     config = ExecutionConfig(p=args.p, algorithm=args.algorithm,
-                             backend=args.backend, tracer=tracer)
+                             backend=args.backend, tracer=tracer,
+                             workers=args.workers)
     try:
         result = api.run_query(instance, config)
     except (KeyError, ValueError) as error:
@@ -629,7 +636,8 @@ def _command_profile(args: argparse.Namespace) -> int:
     instance = _families()[args.family](args)
     profiler = Profiler()
     config = ExecutionConfig(p=args.p, algorithm=args.algorithm,
-                             backend=args.backend, profiler=profiler)
+                             backend=args.backend, profiler=profiler,
+                             workers=args.workers)
     try:
         result = api.run_query(instance, config)
     except (KeyError, ValueError) as error:
@@ -717,6 +725,7 @@ def _run_campaign(args: argparse.Namespace, invariants, label: str,
         shrink=not args.no_shrink,
         fail_fast=args.fail_fast,
         backend=args.backend,
+        workers=args.workers,
         **extra,
     )
     summary = api.chaos(config) if label == "chaos" else api.fuzz(config)

@@ -53,10 +53,20 @@ class ExecutionConfig:
     #: ``"offline"`` (free ANALYZE-style scan) or ``"in-model"`` (collected
     #: on the cluster with metered load, charged to the run's report).
     stats_mode: str = "offline"
+    #: OS worker processes for the ``"process"`` execution mode.  ``1``
+    #: (the default) is fully sequential; ``workers > 1`` lets the
+    #: data-parallel kernels (vectorized local joins, batch splits)
+    #: dispatch in deterministic chunks to a persistent spawn-based pool
+    #: (:mod:`repro.mpc.pool`).  Answers, CostReports, and traces are
+    #: bit-identical at any worker count; faults, profiling, and
+    #: profile-less semirings silently fall back to sequential execution.
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.p < 1:
             raise ValueError("ExecutionConfig needs p >= 1")
+        if self.workers < 1:
+            raise ValueError("ExecutionConfig needs workers >= 1")
         if self.backend is not None and self.backend not in BACKENDS:
             raise ValueError(
                 f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
@@ -83,4 +93,5 @@ class ExecutionConfig:
             faults=self.fault_schedule,
             backend=resolve_backend(self.backend, total_size),
             profiler=self.profiler,
+            workers=self.workers,
         )

@@ -6,6 +6,13 @@ injection with checkpoint/replay recovery (:mod:`repro.mpc.faults`,
 at seeded ``(round, server)`` coordinates, answers survive every
 recoverable schedule, and the repair cost is metered separately under the
 ``recovery`` tag of :class:`CostReport`.
+
+The ``"process"`` execution mode (:mod:`repro.mpc.pool`, enabled by
+``ExecutionConfig(workers=N)``) additionally maps the data-parallel
+kernels of a simulated round onto a persistent pool of OS worker
+processes; answers, meters, and traces stay bit-identical to the
+sequential simulator, and a dead worker raises
+:class:`WorkerCrashError` naming the wave.
 """
 
 from .cluster import ClusterView, MPCCluster
@@ -16,6 +23,7 @@ from .errors import (
     MPCError,
     RoutingError,
     UnrecoverableFaultError,
+    WorkerCrashError,
 )
 from .faults import FAULT_KINDS, Fault, FaultInjector, FaultSchedule
 from .hashing import hash_to_bucket, hash_to_unit, stable_hash
@@ -34,6 +42,7 @@ __all__ = [
     "AllocationError",
     "FaultError",
     "UnrecoverableFaultError",
+    "WorkerCrashError",
     "FAULT_KINDS",
     "Fault",
     "FaultSchedule",

@@ -4,6 +4,11 @@ A :class:`Distributed` is simply "one list of items per server of the view".
 Every repartitioning physically moves items via the view's ``exchange`` and
 is therefore metered.  Initial input placement (the model's round-0 state,
 ``N/p`` tuples per server) is free, matching §1.3.
+
+Item-path datasets always execute in the parent process: the ``"process"``
+execution mode (:mod:`repro.mpc.pool`) only parallelizes array-batch
+subclasses (:class:`~repro.mpc.columnar.ColumnarData`), whose payloads can
+cross a process boundary without touching a Python object per row.
 """
 
 from __future__ import annotations

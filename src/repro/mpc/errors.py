@@ -6,6 +6,7 @@ __all__ = [
     "AllocationError",
     "FaultError",
     "UnrecoverableFaultError",
+    "WorkerCrashError",
 ]
 
 
@@ -44,3 +45,24 @@ class UnrecoverableFaultError(FaultError):
     round — the run is torn down loudly instead of silently producing a
     wrong answer.
     """
+
+
+class WorkerCrashError(MPCError):
+    """An OS worker of the ``"process"`` execution mode died or failed.
+
+    Carries the identifying coordinates of the failure so harnesses can
+    assert *which* dispatch fired: the ``wave`` label (one label per
+    kernel-dispatch batch, e.g. ``"join-reduce:3"`` or ``"exchange:r5"``),
+    the ``kernel`` name, and the pool ``worker`` index.  ``detail`` holds
+    the remote traceback when the worker survived long enough to send one
+    (a Python-level kernel failure); hard deaths (signal, ``os._exit``)
+    leave it empty.
+    """
+
+    def __init__(self, message: str, *, wave: str = "", kernel: str = "",
+                 worker: int = -1, detail: str = "") -> None:
+        super().__init__(message)
+        self.wave = wave
+        self.kernel = kernel
+        self.worker = worker
+        self.detail = detail

@@ -1,0 +1,670 @@
+"""Persistent OS worker pool for the ``"process"`` execution mode.
+
+The simulator's ``p`` virtual servers normally all run on one core.  The
+pool maps the *data-parallel kernels* of a run — the elementary-product
+streams of the vectorized local joins and the destination splits of
+``exchange_batches`` — onto long-lived ``multiprocessing`` workers, under
+the hard contract that answers, CostReports, and trace streams stay
+**bit-identical** to the sequential simulator:
+
+* All control flow, codec interning, metering, and tracing stay in the
+  parent.  Workers receive only numpy arrays and picklable scalars and
+  return fresh arrays; they never see the :class:`~..backends.columnar.
+  ValueCodec` (whose code assignment is order-sensitive parent state) and
+  never touch a :class:`~.stats.LoadTracker`.
+* Work is chunked *deterministically* (boundaries depend only on input
+  sizes and the worker count, never on timing) and results are
+  reassembled in submission order, so completion order cannot leak into
+  any output.
+* A chunked ⊕-merge is bit-exact for every vectorizable profile: int/bool
+  ⊕ is permutation-insensitive on the dtype, and float min/max folds in
+  arrival order both inside chunks and across the chunk merge (numpy's
+  ``minimum``/``maximum`` resolve ties — e.g. ±0.0 — to the *latest*
+  operand consistently, so "latest arrival wins" survives re-bracketing).
+
+Transport: arrays at or above :data:`SHM_MIN_BYTES` travel through
+``multiprocessing.shared_memory`` blocks (zero-copy feasible because the
+columnar layout is already flat int64/float64 buffers); smaller arrays
+pickle inline through the worker's pipe.  Pipes ``send`` synchronously,
+so a shared-memory block is never unlinked while a pickle of it is still
+in flight.
+
+Lifecycle: pools are keyed by ``(workers, seed)`` and reused across
+clusters (:func:`get_pool`); workers spawn lazily on the first wave
+(``spawn`` start method — no inherited parent state), are re-used for the
+process lifetime, and are torn down by :func:`shutdown_pools` (registered
+``atexit``).  Each worker seeds ``random`` and ``numpy.random``
+deterministically from ``(seed, worker_index)``; the shipped kernels draw
+no randomness, the seeding is hygiene for future kernels.
+
+A worker that dies or raises surfaces as a typed
+:class:`~.errors.WorkerCrashError` naming the wave, kernel, and worker.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import traceback
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..backends.dispatch import HAS_NUMPY, np
+from .errors import WorkerCrashError
+
+__all__ = [
+    "DISPATCH_MIN_PRODUCTS",
+    "DISPATCH_MIN_ROWS",
+    "KERNELS",
+    "SHM_MIN_BYTES",
+    "WorkerPool",
+    "count_products",
+    "get_pool",
+    "pack_feasible",
+    "parallel_join_reduce",
+    "shutdown_pools",
+]
+
+#: Minimum elementary-product count before a local join-aggregate is worth
+#: chunking across workers; below it, IPC overheads dominate and the call
+#: runs sequentially (the decision depends only on the count, so it is
+#: deterministic and identical across worker counts).
+DISPATCH_MIN_PRODUCTS = 1 << 15
+#: Minimum probe/batch rows before a call is even considered for dispatch
+#: (also gates the count-only pre-join that prices a dispatch).
+DISPATCH_MIN_ROWS = 1 << 11
+#: Arrays at or above this many bytes ride SharedMemory; smaller ones
+#: pickle inline (one pipe write costs less than a block create/attach).
+SHM_MIN_BYTES = 1 << 16
+
+#: Packed multi-column keys must stay well inside int64 (mirror of
+#: ``repro.backends.kernels._PACK_LIMIT`` — the parent prechecks pack
+#: feasibility so every chunk takes the same packed/fallback decision the
+#: sequential kernel would).
+_PACK_LIMIT = 1 << 62
+
+
+# -- kernels (run inside workers; pure array → array) -------------------------
+
+
+def _kernel_echo(arrays: Dict[str, Any], meta: Dict[str, Any]) -> Dict[str, Any]:
+    """Diagnostic kernel: returns its arrays (copied) and selected meta.
+
+    Also the crash-path test hook: ``meta["exit"]`` hard-kills the worker
+    with that status (simulating a segfault/OOM kill), ``meta["raise"]``
+    raises a Python error that travels back as a remote traceback, and
+    ``meta["draw"]`` samples the worker's seeded RNGs (the determinism
+    battery asserts draws repeat across a teardown/respawn).
+    """
+    if meta.get("exit") is not None:
+        os._exit(int(meta["exit"]))
+    if meta.get("raise") is not None:
+        raise ValueError(str(meta["raise"]))
+    out: Dict[str, Any] = {name: np.array(a, copy=True) for name, a in arrays.items()}
+    out["pid"] = os.getpid()
+    out["seeded"] = meta.get("seeded")
+    if meta.get("draw"):
+        import random
+
+        out["draw"] = (random.random(), float(np.random.random()))
+    return out
+
+
+def _kernel_join_reduce(arrays: Dict[str, Any], meta: Dict[str, Any]) -> Dict[str, Any]:
+    """One probe-side chunk of a vectorized local join-aggregate.
+
+    Replays exactly the sequential pipeline of
+    ``repro.core.two_way_join._local_join_vec`` on ``probe`` rows
+    ``[chunk]``: hash-join against the full build side, ⊗-multiply
+    annotations, pack the out-key columns with the parent's codec-size
+    snapshot as radix, and ⊕-fold by packed key.  Because the probe chunks
+    are contiguous in probe-arrival order, the concatenation of the chunk
+    product streams *is* the sequential stream, and the parent's final
+    ⊕-merge of the chunk partials is bit-exact (see module docstring).
+    """
+    from ..backends.kernels import combine_columns, group_reduce, hash_join
+
+    build_codes = arrays["build_codes"]
+    probe_codes = arrays["probe_codes"]
+    # hash_join(left, right, outer="right") probes with ``right``: for each
+    # probe row in arrival order, all build matches in arrival order.
+    b_pos, p_pos = hash_join(build_codes, probe_codes, outer="right")
+    profile = meta["profile"]
+    build_ann = arrays["build_ann"]
+    probe_ann = arrays["probe_ann"]
+    if meta["probe_is_left"]:
+        weights = profile.mul(probe_ann[p_pos], build_ann[b_pos])
+    else:
+        weights = profile.mul(build_ann[b_pos], probe_ann[p_pos])
+    out_columns = []
+    for index, side in enumerate(meta["out_sides"]):
+        column = arrays[f"out{index}"]
+        out_columns.append(column[b_pos] if side == "B" else column[p_pos])
+    packed, _ = combine_columns(out_columns, meta["pack_base"], weights.shape[0])
+    if packed is None:  # pragma: no cover - parent prechecks feasibility
+        raise RuntimeError("pack infeasible in worker despite parent precheck")
+    unique, reduced = group_reduce(packed, weights, profile.add_ufunc)
+    return {
+        "unique": unique,
+        "reduced": reduced,
+        "products": int(b_pos.shape[0]),
+    }
+
+
+def _kernel_split_batch(arrays: Dict[str, Any], meta: Dict[str, Any]) -> Dict[str, Any]:
+    """Stable destination split of one source batch of ``exchange_batches``.
+
+    Returns the batch's columns gathered into destination order plus the
+    per-destination bounds — the same ``argsort(kind="stable")`` /
+    ``bincount`` math the sequential path runs, so the fragments the
+    parent slices out are bit-identical to ``batch.take(order[start:stop])``.
+    """
+    dest = arrays["dest"]
+    order = np.argsort(dest, kind="stable")
+    counts = np.bincount(dest, minlength=meta["p"])
+    bounds = np.concatenate(([0], np.cumsum(counts)))
+    out: Dict[str, Any] = {"bounds": bounds}
+    for name, array in arrays.items():
+        if name != "dest":
+            out[name] = array[order]
+    return out
+
+
+#: Kernel registry: every dispatchable kernel, by wire name.  Workers
+#: resolve names against their own import of this module, so only kernels
+#: registered *here* exist on both sides of the pipe.
+KERNELS = {
+    "echo": _kernel_echo,
+    "join-reduce": _kernel_join_reduce,
+    "split-batch": _kernel_split_batch,
+}
+
+
+# -- array transport ----------------------------------------------------------
+
+
+def _pack_arrays(
+    arrays: Dict[str, Any], shm_cache: Dict[int, Any], blocks: List[Any]
+) -> Dict[str, Any]:
+    """Parent side: arrays → wire specs, large ones via SharedMemory.
+
+    ``shm_cache`` (keyed by array ``id``) lets one block back an array
+    shared by every call of a wave (e.g. the build side of a chunked
+    join); ``blocks`` collects created blocks for unlink-after-wave.
+    """
+    from multiprocessing import shared_memory
+
+    specs: Dict[str, Any] = {}
+    for name, array in arrays.items():
+        if not isinstance(array, np.ndarray):
+            specs[name] = ("inline", array)
+            continue
+        if array.nbytes < SHM_MIN_BYTES:
+            specs[name] = ("inline", array)
+            continue
+        cached = shm_cache.get(id(array))
+        if cached is None:
+            contiguous = np.ascontiguousarray(array)
+            block = shared_memory.SharedMemory(create=True, size=contiguous.nbytes)
+            np.ndarray(
+                contiguous.shape, dtype=contiguous.dtype, buffer=block.buf
+            )[...] = contiguous
+            cached = (block, str(contiguous.dtype), contiguous.shape)
+            shm_cache[id(array)] = cached
+            blocks.append(block)
+        block, dtype, shape = cached
+        specs[name] = ("shm", block.name, dtype, shape)
+    return specs
+
+
+def _open_arrays(specs: Dict[str, Any]) -> Tuple[Dict[str, Any], List[Any]]:
+    """Worker side: wire specs → arrays (SharedMemory views kept open
+    until the result pickle is on the wire; the caller closes them)."""
+    from multiprocessing import shared_memory
+
+    arrays: Dict[str, Any] = {}
+    opened: List[Any] = []
+    for name, spec in specs.items():
+        if spec[0] == "inline":
+            arrays[name] = spec[1]
+            continue
+        _, shm_name, dtype, shape = spec
+        # The parent owns every block's lifetime (create *and* unlink); an
+        # attach must not enlist the resource tracker, whose name cache
+        # the worker shares with the parent — registering here and
+        # unregistering on close would erase the *parent's* registration
+        # and make its unlink KeyError inside the tracker.  3.13's
+        # ``track=`` parameter does exactly this suppression; below it,
+        # blank ``register`` for the duration of the attach.
+        from multiprocessing import resource_tracker
+
+        tracked_register = resource_tracker.register
+        resource_tracker.register = lambda *_args: None
+        try:
+            block = shared_memory.SharedMemory(name=shm_name)
+        finally:
+            resource_tracker.register = tracked_register
+        arrays[name] = np.ndarray(shape, dtype=np.dtype(dtype), buffer=block.buf)
+        opened.append(block)
+    return arrays, opened
+
+
+# -- worker main --------------------------------------------------------------
+
+
+def _worker_main(conn: Any, index: int, seed: int) -> None:
+    """Worker loop: recv ``(call_id, kernel, meta, specs)``, run, reply.
+
+    Replies are ``(call_id, index, "ok", result)`` or ``(call_id, index,
+    "error", traceback_text)``.  ``None`` is the shutdown sentinel.
+    """
+    import random
+
+    random.seed(seed * 1_000_003 + index + 1)
+    np.random.seed((seed * 1_000_003 + index + 1) % (1 << 32))
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):  # parent died; exit quietly
+            return
+        if message is None:
+            return
+        call_id, kernel, meta, specs = message
+        opened: List[Any] = []
+        try:
+            arrays, opened = _open_arrays(specs)
+            result = KERNELS[kernel](arrays, meta)
+            # send() pickles synchronously, deep-copying any data the
+            # result still views out of shared memory — only then is it
+            # safe to close the blocks.
+            conn.send((call_id, index, "ok", result))
+        except BaseException:
+            try:
+                conn.send((call_id, index, "error", traceback.format_exc()))
+            except (OSError, ValueError):  # pragma: no cover - pipe gone
+                return
+        finally:
+            for block in opened:
+                try:
+                    block.close()
+                except Exception:  # pragma: no cover - already closed
+                    pass
+
+
+# -- the pool -----------------------------------------------------------------
+
+
+class _suppress_main_reimport:
+    """Blank ``__main__``'s import coordinates while spawning workers.
+
+    ``spawn`` children normally re-import the parent's ``__main__``
+    (by name or path) before unpickling the process target.  Pool workers
+    need nothing from it — their target and kernels live in this module,
+    imported by name — and re-executing arbitrary parent scripts is
+    exactly the kind of state leak the process mode forbids (and it hard
+    fails for stdin/REPL parents whose ``__file__`` is not a real path).
+    With ``__spec__``/``__file__`` set to ``None``,
+    ``multiprocessing.spawn.get_preparation_data`` skips the main-module
+    fixup entirely; the attributes are restored before any user code runs
+    again.
+    """
+
+    def __enter__(self) -> None:
+        import sys
+
+        self._main = sys.modules.get("__main__")
+        self._saved = {}
+        if self._main is not None:
+            for attribute in ("__spec__", "__file__"):
+                if getattr(self._main, attribute, None) is not None:
+                    self._saved[attribute] = getattr(self._main, attribute)
+                    setattr(self._main, attribute, None)
+
+    def __exit__(self, *exc: Any) -> None:
+        for attribute, value in self._saved.items():
+            setattr(self._main, attribute, value)
+
+
+class WorkerPool:
+    """A persistent pool of ``workers`` spawned OS processes.
+
+    Workers start lazily (:meth:`warm` forces it), survive across waves
+    and clusters, and die at :meth:`shutdown`.  Calls of a wave are
+    assigned round-robin by call index — never by completion order — and
+    results return in call order, so scheduling cannot perturb output.
+
+    ``dispatch_order`` (``"forward"``/``"reverse"``) flips the submission
+    order of each wave; results are re-keyed by call id, so both orders
+    are byte-equivalent — the determinism battery asserts exactly that.
+    """
+
+    def __init__(self, workers: int, seed: int = 0,
+                 dispatch_order: str = "forward") -> None:
+        if workers < 1:
+            raise ValueError("WorkerPool needs workers >= 1")
+        if dispatch_order not in ("forward", "reverse"):
+            raise ValueError("dispatch_order must be 'forward' or 'reverse'")
+        self.workers = workers
+        self.seed = seed
+        self.dispatch_order = dispatch_order
+        self._procs: List[Any] = []
+        self._conns: List[Any] = []
+        self._wave_count = 0
+        #: One entry per dispatched wave: label, kernel, calls, and the
+        #: worker id + row count per call — the out-of-band attribution
+        #: stream (``repro.obs.events.pool_events`` renders it); nothing
+        #: here ever enters a cluster tracer, keeping trace streams
+        #: bit-identical to sequential runs.
+        self.dispatch_log: List[Dict[str, Any]] = []
+
+    # - lifecycle -
+
+    @property
+    def started(self) -> bool:
+        return bool(self._procs)
+
+    def warm(self) -> None:
+        """Spawn the workers now (idempotent; first wave does it lazily)."""
+        if self._procs:
+            return
+        import multiprocessing
+
+        context = multiprocessing.get_context("spawn")
+        with _suppress_main_reimport():
+            for index in range(self.workers):
+                parent_conn, child_conn = context.Pipe(duplex=True)
+                proc = context.Process(
+                    target=_worker_main,
+                    args=(child_conn, index, self.seed),
+                    daemon=True,
+                    name=f"repro-pool-{index}",
+                )
+                proc.start()
+                child_conn.close()
+                self._procs.append(proc)
+                self._conns.append(parent_conn)
+
+    def shutdown(self) -> None:
+        """Tear the workers down (idempotent); the pool can warm again."""
+        for conn in self._conns:
+            try:
+                conn.send(None)
+            except (OSError, ValueError, BrokenPipeError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=5)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        self._procs = []
+        self._conns = []
+
+    # - dispatch -
+
+    def run_wave(
+        self,
+        kernel: str,
+        calls: Sequence[Tuple[Dict[str, Any], Dict[str, Any]]],
+        label: Optional[str] = None,
+    ) -> List[Any]:
+        """Run ``calls`` (``(arrays, meta)`` pairs) on the workers.
+
+        Returns results in call order.  Raises
+        :class:`~.errors.WorkerCrashError` naming ``label`` (the wave),
+        the kernel, and the worker when a worker dies or its kernel
+        raises; surviving workers stay usable.
+        """
+        from multiprocessing.connection import wait as connection_wait
+
+        self.warm()
+        wave = label if label is not None else f"{kernel}:{self._wave_count}"
+        self._wave_count += 1
+        shm_cache: Dict[int, Any] = {}
+        blocks: List[Any] = []
+        assigned: Dict[int, int] = {}
+        try:
+            order = range(len(calls))
+            if self.dispatch_order == "reverse":
+                order = reversed(order)
+            for call_id in order:
+                arrays, meta = calls[call_id]
+                worker = call_id % self.workers
+                specs = _pack_arrays(arrays, shm_cache, blocks)
+                try:
+                    self._conns[worker].send((call_id, kernel, meta, specs))
+                except (OSError, ValueError, BrokenPipeError):
+                    raise WorkerCrashError(
+                        f"worker {worker} unreachable dispatching wave "
+                        f"{wave!r} (kernel {kernel!r})",
+                        wave=wave, kernel=kernel, worker=worker,
+                    )
+                assigned[call_id] = worker
+            results: List[Any] = [None] * len(calls)
+            outstanding = set(assigned)
+            while outstanding:
+                waiting_conns = {
+                    self._conns[worker]: worker
+                    for call_id, worker in assigned.items()
+                    if call_id in outstanding
+                }
+                watch = list(waiting_conns) + [
+                    self._procs[w].sentinel for w in set(waiting_conns.values())
+                ]
+                for ready in connection_wait(watch):
+                    worker = waiting_conns.get(ready)
+                    if worker is None:  # a process sentinel fired
+                        dead = next(
+                            w for w in set(waiting_conns.values())
+                            if self._procs[w].sentinel == ready
+                        )
+                        if self._procs[dead].is_alive():  # pragma: no cover
+                            continue
+                        raise WorkerCrashError(
+                            f"worker {dead} died (exit code "
+                            f"{self._procs[dead].exitcode}) during wave "
+                            f"{wave!r} (kernel {kernel!r})",
+                            wave=wave, kernel=kernel, worker=dead,
+                        )
+                    try:
+                        call_id, sender, status, payload = ready.recv()
+                    except (EOFError, OSError):
+                        raise WorkerCrashError(
+                            f"worker {worker} hung up mid-result during wave "
+                            f"{wave!r} (kernel {kernel!r})",
+                            wave=wave, kernel=kernel, worker=worker,
+                        )
+                    if status == "error":
+                        raise WorkerCrashError(
+                            f"worker {sender} kernel {kernel!r} failed in "
+                            f"wave {wave!r}:\n{payload}",
+                            wave=wave, kernel=kernel, worker=sender,
+                            detail=payload,
+                        )
+                    results[call_id] = payload
+                    outstanding.discard(call_id)
+        finally:
+            for block in blocks:
+                try:
+                    block.close()
+                    block.unlink()
+                except Exception:  # pragma: no cover - best effort
+                    pass
+        self.dispatch_log.append({
+            "wave": wave,
+            "kernel": kernel,
+            "calls": len(calls),
+            "workers": [assigned[i] for i in range(len(calls))],
+            "items": [
+                int(arrays["probe_codes"].shape[0])
+                if "probe_codes" in arrays
+                else int(arrays["dest"].shape[0]) if "dest" in arrays else 0
+                for arrays, _ in calls
+            ],
+        })
+        return results
+
+    def stats(self) -> Dict[str, Any]:
+        """Dispatch totals: waves, calls, and per-kernel call counts."""
+        kernels: Dict[str, int] = {}
+        for entry in self.dispatch_log:
+            kernels[entry["kernel"]] = kernels.get(entry["kernel"], 0) + entry["calls"]
+        return {
+            "workers": self.workers,
+            "started": self.started,
+            "waves": len(self.dispatch_log),
+            "calls": sum(e["calls"] for e in self.dispatch_log),
+            "kernels": kernels,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"WorkerPool(workers={self.workers}, started={self.started}, "
+                f"waves={len(self.dispatch_log)})")
+
+
+_POOLS: Dict[Tuple[int, int], WorkerPool] = {}
+_ATEXIT_REGISTERED = False
+
+
+def get_pool(workers: int, seed: int = 0) -> WorkerPool:
+    """The shared pool for ``(workers, seed)``, created (cold) on first use.
+
+    Clusters borrow pools rather than owning them, so repeated runs under
+    one config reuse warm workers; :func:`shutdown_pools` runs ``atexit``.
+    """
+    global _ATEXIT_REGISTERED
+    key = (workers, seed)
+    pool = _POOLS.get(key)
+    if pool is None:
+        pool = WorkerPool(workers, seed=seed)
+        _POOLS[key] = pool
+        if not _ATEXIT_REGISTERED:
+            atexit.register(shutdown_pools)
+            _ATEXIT_REGISTERED = True
+    return pool
+
+
+def shutdown_pools() -> None:
+    """Tear down every cached pool (idempotent)."""
+    for pool in list(_POOLS.values()):
+        pool.shutdown()
+    _POOLS.clear()
+
+
+# -- parent-side dispatch helpers ---------------------------------------------
+
+
+def count_products(build_codes: Any, probe_codes: Any) -> Tuple[Any, int]:
+    """Per-probe-row match counts against the build side, plus the total.
+
+    The count-only half of ``hash_join`` — O((n+m) log n) regardless of
+    the product count — lets the parent price a join (``_mul_safe``,
+    dispatch threshold, chunk boundaries) without materializing streams.
+    """
+    from ..backends.kernels import group_index
+
+    counts = np.zeros(probe_codes.shape[0], dtype=np.int64)
+    if build_codes.shape[0] == 0 or probe_codes.shape[0] == 0:
+        return counts, 0
+    _, unique_sorted, _, group_counts = group_index(build_codes)
+    positions = np.searchsorted(unique_sorted, probe_codes)
+    clipped = np.minimum(positions, unique_sorted.shape[0] - 1)
+    matched = unique_sorted[clipped] == probe_codes
+    counts[matched] = group_counts[clipped[matched]]
+    return counts, int(counts.sum())
+
+
+def pack_feasible(columns: int, base: int) -> bool:
+    """Would ``combine_columns`` pack ``columns`` codes of radix ``base``?
+
+    The parent prechecks so that every chunk — and the sequential kernel —
+    takes the same packed/dict-fallback branch."""
+    base = max(1, base)
+    span = 1
+    for _ in range(columns):
+        span *= base
+        if span >= _PACK_LIMIT:
+            return False
+    return True
+
+
+def _chunk_bounds(counts: Any, total: int, chunks: int) -> List[int]:
+    """Contiguous probe-chunk boundaries balanced by *product* mass.
+
+    Deterministic in (counts, chunks): boundaries are where the running
+    product count crosses each ``k·total/chunks`` target."""
+    cumulative = np.cumsum(counts)
+    targets = [(k * total) // chunks for k in range(1, chunks)]
+    cuts = np.searchsorted(cumulative, targets, side="left")
+    bounds = [0]
+    for cut in cuts.tolist():
+        bounds.append(max(bounds[-1], min(int(cut) + 1, counts.shape[0])))
+    bounds.append(counts.shape[0])
+    return bounds
+
+
+def parallel_join_reduce(
+    pool: WorkerPool,
+    *,
+    build_codes: Any,
+    probe_codes: Any,
+    build_ann: Any,
+    probe_ann: Any,
+    out_sides: Sequence[str],
+    out_columns: Sequence[Any],
+    probe_is_left: bool,
+    profile: Any,
+    pack_base: int,
+    counts: Any,
+    products: int,
+) -> Tuple[Any, Any]:
+    """Chunk a local join-aggregate across the pool; ⊕-merge the partials.
+
+    ``out_columns[i]`` is the *full* per-row code column of output
+    attribute ``i`` on side ``out_sides[i]`` (``"B"`` = build, ``"P"`` =
+    probe, already in probe order).  Returns ``(unique_packed, reduced)``
+    bit-identical to the sequential ``combine_columns``/``group_reduce``
+    over the full product stream.  The caller has already checked
+    ``products``, ``_mul_safe``, and :func:`pack_feasible`.
+    """
+    from ..backends.kernels import group_reduce
+
+    chunks = min(pool.workers, max(1, probe_codes.shape[0]))
+    bounds = _chunk_bounds(counts, products, chunks)
+    calls: List[Tuple[Dict[str, Any], Dict[str, Any]]] = []
+    meta = {
+        "profile": profile,
+        "probe_is_left": probe_is_left,
+        "out_sides": tuple(out_sides),
+        "pack_base": pack_base,
+    }
+    for index in range(len(bounds) - 1):
+        start, stop = bounds[index], bounds[index + 1]
+        if stop <= start:
+            continue
+        arrays: Dict[str, Any] = {
+            "build_codes": build_codes,
+            "probe_codes": probe_codes[start:stop],
+            "build_ann": build_ann,
+            "probe_ann": probe_ann[start:stop],
+        }
+        for position, (side, column) in enumerate(zip(out_sides, out_columns)):
+            arrays[f"out{position}"] = (
+                column if side == "B" else column[start:stop]
+            )
+        calls.append((arrays, meta))
+    results = pool.run_wave("join-reduce", calls)
+    shipped = sum(r["products"] for r in results)
+    if shipped != products:  # pragma: no cover - internal invariant
+        raise WorkerCrashError(
+            f"chunked join returned {shipped} products, expected {products}",
+            kernel="join-reduce",
+        )
+    if len(results) == 1:
+        return results[0]["unique"], results[0]["reduced"]
+    unique = np.concatenate([r["unique"] for r in results])
+    reduced = np.concatenate([r["reduced"] for r in results])
+    return group_reduce(unique, reduced, profile.add_ufunc)

@@ -27,12 +27,14 @@ from .events import (
     JsonlSink,
     LOAD_OPS,
     PLAN_OP,
+    POOL_OP,
     RingBufferSink,
     TraceEvent,
     TraceSink,
     Tracer,
     event_from_dict,
     event_to_dict,
+    pool_events,
 )
 from .heatmap import render_heatmap
 from .metrics import (
@@ -92,6 +94,8 @@ __all__ = [
     "LOAD_OPS",
     "FAULT_OPS",
     "PLAN_OP",
+    "POOL_OP",
+    "pool_events",
     "event_to_dict",
     "event_from_dict",
     "SkewStats",

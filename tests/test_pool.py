@@ -1,0 +1,378 @@
+"""Worker-pool battery: lifecycle, determinism stress, and fallback paths.
+
+Three layers of coverage for the ``"process"`` execution mode:
+
+* **Pool unit tests** — spawn/warm/reuse/teardown, deterministic
+  per-worker seeding, SharedMemory + inline transport round-trips, and
+  the typed :class:`~repro.mpc.errors.WorkerCrashError` surfaced for both
+  hard worker deaths and in-kernel Python failures (naming the wave, the
+  kernel, and the worker).
+* **Determinism stress** — worker counts ``{1, 2, p, p+3}`` and both
+  dispatch orders produce *byte-identical* serialized runs, and the
+  chunked ⊕-merge is bit-exact even for float min/max ties (±0.0); a
+  planted nondeterministic-reduce mutation must be caught by the
+  ``process-identity`` differential oracle.
+* **Fallback paths** — fault schedules, attached/activated profilers,
+  and opaque (profile-less, unpicklable) semirings silently route to
+  sequential execution with answers and meters untouched, per
+  ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.backends.dispatch import HAS_NUMPY, process_enabled
+from repro.conformance.generators import GeneratorConfig, materialize, random_case
+from repro.conformance.invariants import InvariantViolation, check_process_identity
+from repro.conformance.mutation import planted_unordered_merge
+from repro.config import ExecutionConfig
+from repro.core.executor import run_query
+from repro.mpc.errors import MPCError, WorkerCrashError
+from repro.obs.events import POOL_OP, RingBufferSink, Tracer, event_to_dict, pool_events
+
+needs_numpy = pytest.mark.skipif(not HAS_NUMPY, reason="numpy unavailable")
+
+if HAS_NUMPY:
+    import numpy as np
+
+    from repro.mpc import pool as pool_mod
+    from repro.mpc.pool import WorkerPool, get_pool
+
+
+@pytest.fixture
+def forced_dispatch(monkeypatch):
+    """Production thresholds scaled to zero so tiny instances dispatch."""
+    monkeypatch.setattr(pool_mod, "DISPATCH_MIN_PRODUCTS", 1)
+    monkeypatch.setattr(pool_mod, "DISPATCH_MIN_ROWS", 1)
+    monkeypatch.setattr(pool_mod, "SHM_MIN_BYTES", 1 << 6)
+
+
+def _case(seed=11, family="matmul", profile="counting", skew="uniform"):
+    generator = GeneratorConfig(
+        max_tuples=12, domain=5, families=(family,),
+        profiles=(profile,), skews=(skew,),
+    )
+    return random_case(random.Random(seed), generator, 0)
+
+
+def _run_serialized(instance, **config_kwargs):
+    """One run rendered as a canonical JSON string (byte-comparable)."""
+    sink = RingBufferSink()
+    result = run_query(
+        instance,
+        config=ExecutionConfig(
+            backend="columnar", tracer=Tracer((sink,)), **config_kwargs
+        ),
+    )
+    answer = sorted(
+        (repr(values), repr(annotation))
+        for values, annotation in result.relation
+    )
+    return json.dumps(
+        {
+            "answer": answer,
+            "report": result.report.to_dict(),
+            "events": [event_to_dict(event) for event in sink.events],
+        },
+        sort_keys=True,
+    )
+
+
+# -- pool unit tests ----------------------------------------------------------
+
+
+@needs_numpy
+class TestWorkerPoolLifecycle:
+    def test_validates_construction(self):
+        with pytest.raises(ValueError):
+            WorkerPool(0)
+        with pytest.raises(ValueError):
+            WorkerPool(2, dispatch_order="random")
+
+    def test_lazy_warm_reuse_and_shutdown(self):
+        pool = WorkerPool(2, seed=900)
+        assert not pool.started
+        try:
+            first = pool.run_wave("echo", [({}, {}), ({}, {})])
+            assert pool.started
+            pids = {result["pid"] for result in first}
+            assert len(pids) == 2  # round-robin used both workers
+            second = pool.run_wave("echo", [({}, {}), ({}, {})])
+            assert {result["pid"] for result in second} == pids  # reused, not respawned
+        finally:
+            pool.shutdown()
+        assert not pool.started
+        pool.shutdown()  # idempotent
+
+    def test_get_pool_caches_by_workers_and_seed(self):
+        pool = get_pool(2, seed=901)
+        assert get_pool(2, seed=901) is pool
+        assert get_pool(3, seed=901) is not pool
+
+    def test_deterministic_per_worker_seeding(self):
+        """Workers reseed identically across a full teardown/respawn."""
+        pool = WorkerPool(2, seed=902)
+        try:
+            first = pool.run_wave("echo", [({}, {"draw": True}) for _ in range(2)])
+            pool.shutdown()
+            second = pool.run_wave("echo", [({}, {"draw": True}) for _ in range(2)])
+            assert [r["draw"] for r in first] == [r["draw"] for r in second]
+            # distinct workers draw from distinct streams
+            assert first[0]["draw"] != first[1]["draw"]
+        finally:
+            pool.shutdown()
+
+
+@needs_numpy
+class TestTransport:
+    def test_inline_and_shm_round_trip(self, forced_dispatch):
+        pool = WorkerPool(2, seed=903)
+        big = np.arange(64, dtype=np.int64)          # >= patched SHM_MIN_BYTES
+        small = np.array([1.5, -0.0], dtype=np.float64)  # stays inline
+        try:
+            [result] = pool.run_wave(
+                "echo", [({"big": big, "small": small, "scalar": 7}, {})]
+            )
+        finally:
+            pool.shutdown()
+        assert np.array_equal(result["big"], big)
+        assert result["small"].tolist() == small.tolist()
+        assert np.signbit(result["small"][1])  # -0.0 survives the wire bit-exactly
+        assert result["scalar"] == 7
+
+    def test_one_block_backs_shared_arrays(self, forced_dispatch):
+        """A wave-shared array (the build side) is packed into SHM once."""
+        shared = np.arange(64, dtype=np.int64)
+        shm_cache, blocks = {}, []
+        specs_a = pool_mod._pack_arrays({"build": shared}, shm_cache, blocks)
+        specs_b = pool_mod._pack_arrays({"build": shared}, shm_cache, blocks)
+        try:
+            assert specs_a["build"][0] == "shm"
+            assert specs_a["build"][1] == specs_b["build"][1]
+            assert len(blocks) == 1
+        finally:
+            for block in blocks:
+                block.close()
+                block.unlink()
+
+
+@needs_numpy
+class TestCrashSurface:
+    def test_hard_death_names_wave_kernel_worker(self):
+        pool = WorkerPool(2, seed=904)
+        try:
+            with pytest.raises(WorkerCrashError) as caught:
+                pool.run_wave(
+                    "echo", [({}, {"exit": 3}), ({}, {})], label="join-reduce:3"
+                )
+            error = caught.value
+            assert error.wave == "join-reduce:3"
+            assert error.kernel == "echo"
+            assert error.worker == 0
+            assert "join-reduce:3" in str(error)  # the error names the wave
+            assert isinstance(error, MPCError)  # typed, catchable with the family
+        finally:
+            pool.shutdown()
+
+    def test_kernel_failure_carries_remote_traceback(self):
+        pool = WorkerPool(2, seed=905)
+        try:
+            with pytest.raises(WorkerCrashError) as caught:
+                pool.run_wave("echo", [({}, {"raise": "boom"}), ({}, {})])
+            error = caught.value
+            assert error.kernel == "echo"
+            assert "ValueError" in error.detail and "boom" in error.detail
+            # a Python failure does not kill the worker: the pool stays usable
+            results = pool.run_wave("echo", [({}, {}), ({}, {})])
+            assert len(results) == 2
+        finally:
+            pool.shutdown()
+
+
+# -- determinism stress -------------------------------------------------------
+
+
+@needs_numpy
+def test_chunked_float_merge_is_bit_exact_on_signed_zero_ties():
+    """min/max ⊕ resolves ±0.0 ties to the latest arrival; the chunk merge
+    preserves that bracketing, so partials are bit-identical however the
+    stream is chunked."""
+    from repro.backends.kernels import group_reduce
+
+    ids = np.array([7, 7, 7, 7, 9, 9], dtype=np.int64)
+    values = np.array([0.0, -0.0, 0.0, -0.0, -0.0, 0.0], dtype=np.float64)
+    whole_u, whole_r = group_reduce(ids, values, np.minimum)
+    for cut in range(1, ids.shape[0]):
+        left_u, left_r = group_reduce(ids[:cut], values[:cut], np.minimum)
+        right_u, right_r = group_reduce(ids[cut:], values[cut:], np.minimum)
+        merged_u, merged_r = group_reduce(
+            np.concatenate([left_u, right_u]),
+            np.concatenate([left_r, right_r]),
+            np.minimum,
+        )
+        assert merged_u.tolist() == whole_u.tolist()
+        assert merged_r.tobytes() == whole_r.tobytes()  # bit-exact, signs included
+
+
+@needs_numpy
+def test_chunk_bounds_cover_and_are_deterministic():
+    counts = np.array([5, 0, 3, 9, 1, 1, 4, 2], dtype=np.int64)
+    total = int(counts.sum())
+    for chunks in (1, 2, 3, 8):
+        bounds = pool_mod._chunk_bounds(counts, total, chunks)
+        assert bounds[0] == 0 and bounds[-1] == counts.shape[0]
+        assert bounds == sorted(bounds)
+        assert bounds == pool_mod._chunk_bounds(counts, total, chunks)
+
+
+@needs_numpy
+@pytest.mark.parametrize("workers", [1, 2, 5, 8], ids=lambda w: f"workers{w}")
+def test_worker_counts_byte_identical(workers, forced_dispatch):
+    """Satellite contract: workers ∈ {1, 2, p, p+3} (p=5 here) serialize to
+    the byte-identical JSON document."""
+    instance = materialize(_case(seed=21))
+    expected = _run_serialized(instance, p=5, workers=1)
+    assert _run_serialized(instance, p=5, workers=workers) == expected
+
+
+@needs_numpy
+def test_dispatch_orders_byte_identical(forced_dispatch):
+    """Submission order cannot leak: forward and reverse dispatch of every
+    wave yield the byte-identical run."""
+    instance = materialize(_case(seed=22))
+    pool = get_pool(2)
+    forward = _run_serialized(instance, p=5, workers=2)
+    pool.dispatch_order = "reverse"
+    try:
+        reverse = _run_serialized(instance, p=5, workers=2)
+    finally:
+        pool.dispatch_order = "forward"
+    assert forward == reverse
+
+
+@needs_numpy
+def test_planted_nondeterministic_reduce_is_caught(forced_dispatch):
+    """The oracle has teeth: a lost-update chunk merge (the classic
+    nondeterministic-reduce race) diverges and is flagged."""
+    case = _case(seed=23)
+    check_process_identity(case, _PConfig())  # sanity: green without the bug
+    with planted_unordered_merge():
+        with pytest.raises(InvariantViolation) as caught:
+            check_process_identity(case, _PConfig())
+    assert caught.value.invariant == "process-identity"
+
+
+class _PConfig:
+    p = 5
+    p_large = 8
+    backend = None
+    workers = 2
+
+
+# -- fallback paths -----------------------------------------------------------
+
+
+class _StubView:
+    def __init__(self, workers=2, faults=None, profiler=None):
+        cluster = type("C", (), {})()
+        cluster.workers = workers
+        cluster.faults = faults
+        cluster.tracker = type("T", (), {})()
+        cluster.tracker.profiler = profiler
+        self.cluster = cluster
+
+
+@needs_numpy
+def test_process_enabled_gates():
+    marker = object()
+    assert process_enabled(_StubView(workers=2))
+    assert not process_enabled(_StubView(workers=1))
+    assert not process_enabled(_StubView(workers=2, faults=marker))
+    assert not process_enabled(_StubView(workers=2, profiler=marker))
+
+
+@needs_numpy
+def test_activated_profiler_disables_dispatch():
+    from repro.obs import profile as profile_mod
+    from repro.obs.profile import Profiler
+
+    previous = profile_mod.activate(Profiler())
+    try:
+        assert not process_enabled(_StubView(workers=2))
+    finally:
+        profile_mod.activate(previous)
+
+
+@needs_numpy
+def test_faults_fall_back_sequentially_with_meters_untouched(forced_dispatch):
+    """A fault schedule under workers=2 runs the sequential engine: same
+    answers and meters as the workers=1 faulted run, nothing dispatched."""
+    from repro.mpc.faults import Fault, FaultSchedule
+
+    instance = materialize(_case(seed=24))
+    schedule = FaultSchedule([Fault("drop", 0, 1)])
+    pool = get_pool(2)
+    before = len(pool.dispatch_log)
+    faulted = _run_serialized(instance, p=5, workers=2, fault_schedule=schedule)
+    assert faulted == _run_serialized(instance, p=5, workers=1, fault_schedule=schedule)
+    assert len(pool.dispatch_log) == before
+
+
+@needs_numpy
+def test_profiler_falls_back_sequentially(forced_dispatch):
+    """An attached profiler pins the run to the sequential engine (its
+    activation token and MetricsRegistry counters are process-local);
+    answers and meters match the unprofiled sequential run."""
+    from repro.obs.profile import Profiler
+
+    instance = materialize(_case(seed=25))
+    pool = get_pool(2)
+    sequential = _run_serialized(instance, p=5, workers=1)
+    before = len(pool.dispatch_log)
+    profiled = _run_serialized(instance, p=5, workers=2, profiler=Profiler())
+    assert profiled == sequential
+    assert len(pool.dispatch_log) == before
+
+
+@needs_numpy
+def test_opaque_semiring_never_dispatches_semiring_kernels(forced_dispatch):
+    """Opaque ⊕/⊗ callables are unpicklable and have no annotation
+    profile: no semiring-touching kernel (join-reduce) ever reaches a
+    worker, and sources whose batches carry object-dtype annotation
+    arrays split inline.  Value-free int64 code splits may still
+    dispatch — they never see an opaque value — and the run stays
+    byte-identical to sequential either way."""
+    instance = materialize(_case(seed=26, profile="opaque"))
+    pool = get_pool(2)
+    before = len(pool.dispatch_log)
+    assert (
+        _run_serialized(instance, p=5, workers=2)
+        == _run_serialized(instance, p=5, workers=1)
+    )
+    new_waves = pool.dispatch_log[before:]
+    assert all(entry["kernel"] == "split-batch" for entry in new_waves)
+
+
+# -- worker attribution (out-of-band) ----------------------------------------
+
+
+@needs_numpy
+def test_pool_events_render_dispatch_log(forced_dispatch):
+    instance = materialize(_case(seed=27))
+    pool = get_pool(2)
+    start = len(pool.dispatch_log)
+    traced = _run_serialized(instance, p=5, workers=2)
+    events = pool_events(pool)[start:]
+    assert events, "expected at least one dispatched wave"
+    for event in events:
+        assert event.op == POOL_OP
+        assert event.round == -1
+        assert all(0 <= worker < 2 for worker in event.servers)
+        assert event.detail["kernel"] in ("join-reduce", "split-batch")
+        assert event.detail["wave"]
+    # attribution is out-of-band: the cluster trace knows nothing of it
+    assert POOL_OP not in traced
