@@ -1,12 +1,12 @@
-"""The library facade: every CLI capability as a plain function.
+"""The library facade: a *stable*, versioned API surface.
 
 ``python -m repro`` is a thin argparse shell over this module — anything
-the command line can do, a notebook or test harness can do by importing
+the command line can do, a notebook, test harness, or the long-running
+query service (:mod:`repro.service`) can do by importing
 :mod:`repro.api`:
 
 * :func:`run_query` — evaluate one instance under an
-  :class:`~repro.config.ExecutionConfig` (accepts the historical loose
-  keyword arguments with a ``DeprecationWarning``);
+  :class:`~repro.config.ExecutionConfig`;
 * :func:`compare` — distributed Yannakakis baseline vs the paper's
   algorithm (or any ``config.algorithm``, including the cost-based
   planner's ``"cost"``) on one instance, both cost reports packaged
@@ -14,27 +14,37 @@ the command line can do, a notebook or test harness can do by importing
 * :func:`explain` — the cost-based planner's candidate table for one
   instance, without executing anything (:mod:`repro.planner`);
 * :func:`sweep` — :func:`compare` across a labelled series of instances;
-* :func:`table1` — the paper's Table 1 on adversarial workload families
-  (moved here from :mod:`repro.reporting`, which keeps a deprecated
-  forwarder);
+* :func:`table1` — the paper's Table 1 on adversarial workload families;
 * :func:`fuzz` — a conformance fuzzing campaign
   (:mod:`repro.conformance`);
 * :func:`chaos` — the fault-injection tier of the same campaign runner.
 
-Every function takes a config object (:class:`ExecutionConfig` for the
+**Contract.**  ``__all__`` is the surface: everything in it is covered by
+the compatibility promise tracked by :data:`__version__` (semantic
+versioning of the *facade*, independent of the package release).  Every
+function takes a config object (:class:`ExecutionConfig` for the
 executor-shaped entry points, :class:`~repro.conformance.FuzzConfig` for
 the campaigns) and returns structured data — no printing, no process exit
-codes.  Results, cost reports, and traces are backend-independent: an
+codes.  Failures raise from the typed hierarchy in :mod:`repro.errors`
+(:class:`~repro.errors.ConfigError` for bad knobs at construction time,
+:class:`~repro.errors.ApplicabilityError` for algorithm/shape mismatches),
+which is how the service maps exceptions to HTTP statuses.
+
+Results, cost reports, and traces are backend-independent: an
 ``ExecutionConfig(backend="numpy")`` run is bit-identical to the default
 ``"pytuple"`` one, only faster.  The same contract covers the process
 execution mode: ``ExecutionConfig(workers=4)`` dispatches the
 data-parallel kernels to a persistent OS worker pool
 (:mod:`repro.mpc.pool`) and stays bit-identical to ``workers=1``.
+
+Version 2.0 removed the transitional paths of the 1.x facade: the loose
+``run_query(**kwargs)`` keywords and the deprecated forwarders
+``repro.reporting.table1_report``/``compare_on`` and
+``repro.testing.fuzz_differential`` (see CHANGELOG.md).
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, replace
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -43,9 +53,17 @@ from .core.executor import QueryResult
 from .core.executor import run_query as _executor_run_query
 from .data.query import Instance
 
+#: Version of the *facade contract* (what ``__all__`` promises), bumped
+#: independently of the package release: 2.0 dropped the loose-keyword
+#: ``run_query`` path and the deprecated ``reporting``/``testing``
+#: forwarders.
+__version__ = "2.0.0"
+
 __all__ = [
+    "__version__",
     "ExecutionConfig",
     "CompareResult",
+    "QueryResult",
     "TABLE1_FAMILIES",
     "run_query",
     "compare",
@@ -56,45 +74,19 @@ __all__ = [
     "chaos",
 ]
 
-#: The loose ``run_query`` keywords that predate :class:`ExecutionConfig`.
-_LOOSE_KWARGS = (
-    "p",
-    "algorithm",
-    "backend",
-    "seed",
-    "tracer",
-    "fault_schedule",
-    "validate",
-)
-
 
 def run_query(
     instance: Instance,
     config: Optional[ExecutionConfig] = None,
-    **loose: Any,
 ) -> QueryResult:
     """Evaluate ``instance``; the facade twin of
     :func:`repro.core.executor.run_query`.
 
-    All knobs travel in ``config``.  The historical loose keyword arguments
-    (``p=…``, ``tracer=…``, ``fault_schedule=…``, ``seed=…``, …) are still
-    accepted — they override the corresponding ``config`` fields — but emit
-    a ``DeprecationWarning``; new code should construct an
-    :class:`ExecutionConfig` once and reuse it.
+    All knobs travel in ``config`` (:class:`ExecutionConfig`); the 1.x
+    loose keyword arguments (``p=…``, ``tracer=…``, …) were removed in
+    facade 2.0 — construct an :class:`ExecutionConfig` once and reuse it.
     """
-    unknown = set(loose) - set(_LOOSE_KWARGS)
-    if unknown:
-        raise TypeError(f"run_query() got unexpected keyword(s) {sorted(unknown)}")
-    config = config or ExecutionConfig()
-    if loose:
-        warnings.warn(
-            "loose execution keywords (p=, tracer=, fault_schedule=, seed=, …) "
-            "are deprecated; pass an ExecutionConfig instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        config = replace(config, **loose)
-    return _executor_run_query(instance, config=config)
+    return _executor_run_query(instance, config=config or ExecutionConfig())
 
 
 @dataclass(frozen=True)
@@ -252,7 +244,9 @@ def table1(
     else:
         unknown = sorted(set(families) - set(TABLE1_FAMILIES))
         if unknown:
-            raise ValueError(
+            from .errors import ConfigError
+
+            raise ConfigError(
                 f"unknown Table-1 families {unknown}; "
                 f"choose from {', '.join(TABLE1_FAMILIES)}"
             )

@@ -31,7 +31,12 @@ Commands aimed at kicking the tires without writing code:
 * ``chaos`` — the chaos tier on its own: every case is re-checked under
   seeded recoverable fault schedules (crash/drop/duplicate/straggler with
   checkpoint-replay recovery, docs/model.md) plus one planted
-  unrecoverable schedule that must fail loudly.
+  unrecoverable schedule that must fail loudly;
+* ``serve`` — run the long-running HTTP/JSON query service
+  (docs/service.md): named registered instances, a result cache with an
+  LRU byte budget, planner-driven admission control, and Prometheus
+  metrics at ``/metrics``; ``--preload NAME=PATH`` registers instance
+  JSON files (the ``repro.io`` format) at startup.
 
 ``compare``/``sweep``/``table1`` accept ``--json`` (machine-readable
 output on stdout), ``--trace-out PATH`` (JSONL trace of the paper
@@ -294,6 +299,39 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="recoverable fault schedules per case × algorithm")
     chaos.add_argument("--faults", type=int, default=3,
                        help="faults per generated schedule")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the HTTP/JSON query service (docs/service.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: %(default)s)")
+    serve.add_argument("--port", type=int, default=8750,
+                       help="TCP port, 0 = ephemeral (default: %(default)s)")
+    serve.add_argument("--cache-bytes", type=int, default=64 * 1024 * 1024,
+                       metavar="N",
+                       help="result-cache byte budget; 0 disables caching "
+                       "(default: 64 MiB)")
+    serve.add_argument("--max-concurrent", type=int, default=4, metavar="N",
+                       help="executions allowed to run simultaneously "
+                       "(default: %(default)s)")
+    serve.add_argument("--queue-depth", type=int, default=8, metavar="N",
+                       help="requests allowed to wait for a slot before 429 "
+                       "(default: %(default)s)")
+    serve.add_argument("--load-budget", type=float, default=None, metavar="L",
+                       help="reject requests whose planner-predicted load "
+                       "exceeds L (default: unlimited)")
+    serve.add_argument("--p", type=int, default=8,
+                       help="default server count for requests that omit "
+                       "config.p (default: %(default)s)")
+    serve.add_argument("--backend", choices=BACKENDS, default="pytuple",
+                       help="default kernel backend for requests that omit "
+                       "config.backend")
+    serve.add_argument("--preload", nargs="*", default=(), metavar="NAME=PATH",
+                       help="register instance JSON files (repro.io format) "
+                       "at startup")
+    serve.add_argument("--quiet", action="store_true",
+                       help="suppress per-request access logging")
 
     return parser
 
@@ -757,6 +795,46 @@ def _run_campaign(args: argparse.Namespace, invariants, label: str,
     return 1
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    """Start the HTTP/JSON query service (blocks until interrupted)."""
+    from .errors import ConfigError, ReproError
+    from .service import ServiceState, serve
+
+    try:
+        state = ServiceState(
+            cache_bytes=args.cache_bytes,
+            max_concurrent=args.max_concurrent,
+            queue_depth=args.queue_depth,
+            load_budget=args.load_budget,
+            default_config=ExecutionConfig(p=args.p, backend=args.backend),
+        )
+    except ConfigError as error:
+        print(f"ERROR: {error}", file=sys.stderr)
+        return 2
+
+    from .io import instance_from_json
+
+    for spec in args.preload:
+        name, separator, path = spec.partition("=")
+        if not separator or not name or not path:
+            print(f"ERROR: --preload wants NAME=PATH, got {spec!r}",
+                  file=sys.stderr)
+            return 2
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                instance = instance_from_json(handle.read())
+            entry = state.registry.register(name, instance)
+        except (OSError, ReproError, ValueError, KeyError) as error:
+            print(f"ERROR: cannot preload {name!r} from {path}: {error}",
+                  file=sys.stderr)
+            return 2
+        print(f"preloaded {name!r} digest={entry.digest} "
+              f"({entry.instance.total_size} tuples)")
+
+    serve(state, host=args.host, port=args.port, verbose=not args.quiet)
+    return 0
+
+
 def _command_fuzz(args: argparse.Namespace) -> int:
     if not _check_campaign_names(args):
         return 2
@@ -799,6 +877,8 @@ def main(argv=None) -> int:
         return _command_fuzz(args)
     if args.command == "chaos":
         return _command_chaos(args)
+    if args.command == "serve":
+        return _command_serve(args)
     return 2  # pragma: no cover
 
 

@@ -16,6 +16,7 @@ from dataclasses import dataclass, replace
 from typing import Any, Optional
 
 from .backends.dispatch import BACKENDS, resolve_backend
+from .errors import ConfigError
 from .mpc.cluster import MPCCluster
 
 __all__ = ["ExecutionConfig"]
@@ -63,18 +64,33 @@ class ExecutionConfig:
     workers: int = 1
 
     def __post_init__(self) -> None:
+        """Eager validation: a bad config never reaches the executor.
+
+        Every rejected combination raises :class:`~repro.errors.ConfigError`
+        (a ``ValueError`` subclass) at *construction* time — including the
+        faults + process-mode pairing, which has no coherent meaning:
+        recovery replays inboxes item-at-a-time, so a faulted run could
+        never dispatch to the worker pool anyway.
+        """
         if self.p < 1:
-            raise ValueError("ExecutionConfig needs p >= 1")
+            raise ConfigError("ExecutionConfig needs p >= 1")
         if self.workers < 1:
-            raise ValueError("ExecutionConfig needs workers >= 1")
+            raise ConfigError("ExecutionConfig needs workers >= 1")
         if self.backend is not None and self.backend not in BACKENDS:
-            raise ValueError(
+            raise ConfigError(
                 f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
             )
         if self.stats_mode not in ("offline", "in-model"):
-            raise ValueError(
+            raise ConfigError(
                 f"unknown stats_mode {self.stats_mode!r}; "
                 "expected 'offline' or 'in-model'"
+            )
+        if self.fault_schedule is not None and self.workers > 1:
+            raise ConfigError(
+                "fault injection and the process execution mode are "
+                "mutually exclusive: recovery replays inboxes "
+                "item-at-a-time on the sequential engine; use workers=1 "
+                "with a fault_schedule (or drop the schedule)"
             )
 
     def with_backend(self, backend: Optional[str]) -> "ExecutionConfig":

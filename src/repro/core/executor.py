@@ -20,6 +20,7 @@ from typing import Callable, Dict, List, Literal, Optional
 
 from ..data.query import Instance, QueryClass, TreeQuery
 from ..data.relation import DistRelation, Relation
+from ..errors import ApplicabilityError
 from ..mpc.cluster import ClusterView, MPCCluster
 from ..mpc.stats import CostReport
 from ..obs import profile as _obs_profile
@@ -361,12 +362,12 @@ def _dispatch(chosen: str, instance: Instance, view: ClusterView) -> DistRelatio
     query = instance.query
     spec = ALGORITHMS.get(chosen)
     if spec is None:
-        raise ValueError(
+        raise ApplicabilityError(
             f"unknown algorithm {chosen!r}; registered: "
             f"{', '.join(ALGORITHMS)} (plus the 'auto' and 'cost' dispatchers)"
         )
     if not spec.applies(query):
-        raise ValueError(
+        raise ApplicabilityError(
             f"algorithm {chosen!r} needs {spec.requirement}, but this query "
             f"is {query.classify()}; applicable here: "
             f"{', '.join(applicable_algorithms(query))}"

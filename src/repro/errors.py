@@ -1,0 +1,119 @@
+"""The library's typed error hierarchy, re-exported from one place.
+
+Every exception the library raises on purpose derives from
+:class:`ReproError`, so callers can catch one root — and the query
+service (:mod:`repro.service`) can map *exception class → HTTP status*
+deterministically instead of pattern-matching messages.  The leaves keep
+their historical built-in bases (``ValueError``, ``RuntimeError``) so
+pre-hierarchy ``except ValueError`` call sites continue to work.
+
+The hierarchy::
+
+    ReproError
+    ├── ConfigError(ValueError)          — invalid ExecutionConfig/knobs
+    ├── ApplicabilityError(ValueError)   — algorithm ∕ query shape mismatch
+    └── MPCError(RuntimeError)           — simulated-cluster failures
+        ├── RoutingError                 — message to a server outside the view
+        ├── AllocationError              — server-allocation request unsatisfiable
+        ├── FaultError                   — injected-fault failures
+        │   └── UnrecoverableFaultError  — fault the recovery policy cannot repair
+        └── WorkerCrashError             — process-mode OS worker died
+
+:mod:`repro.mpc.errors` re-exports the MPC branch for compatibility with
+the historical import paths; new code should import from here.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "ApplicabilityError",
+    "MPCError",
+    "RoutingError",
+    "AllocationError",
+    "FaultError",
+    "UnrecoverableFaultError",
+    "WorkerCrashError",
+]
+
+
+class ReproError(Exception):
+    """Root of every exception the library raises deliberately."""
+
+
+class ConfigError(ReproError, ValueError):
+    """An invalid configuration value or combination of values.
+
+    Raised eagerly — :class:`~repro.config.ExecutionConfig` rejects
+    unknown backends, ``workers < 1``, ``p < 1``, bad ``stats_mode``
+    values, and the faults + process-mode combination at *construction*
+    time, so a bad config never reaches the executor.
+    """
+
+
+class ApplicabilityError(ReproError, ValueError):
+    """An algorithm was requested on a query without the required shape.
+
+    Also covers asking the planner for a plan when no registered
+    candidate has a cost model.  Subclasses ``ValueError`` because the
+    executor historically raised that.
+    """
+
+
+class MPCError(ReproError, RuntimeError):
+    """Base class for simulated-cluster failures."""
+
+
+class RoutingError(MPCError):
+    """A message was addressed to a server outside the executing view."""
+
+
+class AllocationError(MPCError):
+    """A server-allocation request could not be satisfied."""
+
+
+class FaultError(MPCError):
+    """Base class for injected-fault failures (see :mod:`repro.mpc.faults`).
+
+    Carries the identifying coordinates of the fault so harnesses can
+    assert *which* failure fired: ``kind`` (``crash``/``drop``/
+    ``duplicate``/``straggler``), ``round`` and global ``server`` id.
+    """
+
+    def __init__(self, message: str, *, kind: str = "", round_index: int = -1,
+                 server: int = -1) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.round = round_index
+        self.server = server
+
+
+class UnrecoverableFaultError(FaultError):
+    """An injected fault the recovery policy cannot repair.
+
+    Raised from inside the faulted cluster operation, naming the failing
+    round — the run is torn down loudly instead of silently producing a
+    wrong answer.
+    """
+
+
+class WorkerCrashError(MPCError):
+    """An OS worker of the ``"process"`` execution mode died or failed.
+
+    Carries the identifying coordinates of the failure so harnesses can
+    assert *which* dispatch fired: the ``wave`` label (one label per
+    kernel-dispatch batch, e.g. ``"join-reduce:3"`` or ``"exchange:r5"``),
+    the ``kernel`` name, and the pool ``worker`` index.  ``detail`` holds
+    the remote traceback when the worker survived long enough to send one
+    (a Python-level kernel failure); hard deaths (signal, ``os._exit``)
+    leave it empty.
+    """
+
+    def __init__(self, message: str, *, wave: str = "", kernel: str = "",
+                 worker: int = -1, detail: str = "") -> None:
+        super().__init__(message)
+        self.wave = wave
+        self.kernel = kernel
+        self.worker = worker
+        self.detail = detail

@@ -1,4 +1,18 @@
-"""Exceptions raised by the MPC simulator."""
+"""Exceptions raised by the MPC simulator.
+
+The classes moved to :mod:`repro.errors` — the library's single typed
+hierarchy rooted at :class:`~repro.errors.ReproError` — and this module
+re-exports the MPC branch so the historical import paths keep working.
+"""
+
+from ..errors import (
+    AllocationError,
+    FaultError,
+    MPCError,
+    RoutingError,
+    UnrecoverableFaultError,
+    WorkerCrashError,
+)
 
 __all__ = [
     "MPCError",
@@ -8,61 +22,3 @@ __all__ = [
     "UnrecoverableFaultError",
     "WorkerCrashError",
 ]
-
-
-class MPCError(RuntimeError):
-    """Base class for simulator failures."""
-
-
-class RoutingError(MPCError):
-    """A message was addressed to a server outside the executing view."""
-
-
-class AllocationError(MPCError):
-    """A server-allocation request could not be satisfied."""
-
-
-class FaultError(MPCError):
-    """Base class for injected-fault failures (see :mod:`repro.mpc.faults`).
-
-    Carries the identifying coordinates of the fault so harnesses can
-    assert *which* failure fired: ``kind`` (``crash``/``drop``/
-    ``duplicate``/``straggler``), ``round`` and global ``server`` id.
-    """
-
-    def __init__(self, message: str, *, kind: str = "", round_index: int = -1,
-                 server: int = -1) -> None:
-        super().__init__(message)
-        self.kind = kind
-        self.round = round_index
-        self.server = server
-
-
-class UnrecoverableFaultError(FaultError):
-    """An injected fault the recovery policy cannot repair.
-
-    Raised from inside the faulted cluster operation, naming the failing
-    round — the run is torn down loudly instead of silently producing a
-    wrong answer.
-    """
-
-
-class WorkerCrashError(MPCError):
-    """An OS worker of the ``"process"`` execution mode died or failed.
-
-    Carries the identifying coordinates of the failure so harnesses can
-    assert *which* dispatch fired: the ``wave`` label (one label per
-    kernel-dispatch batch, e.g. ``"join-reduce:3"`` or ``"exchange:r5"``),
-    the ``kernel`` name, and the pool ``worker`` index.  ``detail`` holds
-    the remote traceback when the worker survived long enough to send one
-    (a Python-level kernel failure); hard deaths (signal, ``os._exit``)
-    leave it empty.
-    """
-
-    def __init__(self, message: str, *, wave: str = "", kernel: str = "",
-                 worker: int = -1, detail: str = "") -> None:
-        super().__init__(message)
-        self.wave = wave
-        self.kernel = kernel
-        self.worker = worker
-        self.detail = detail

@@ -24,6 +24,7 @@ Three feeders connect the registry to the observability stream:
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .events import LOAD_OPS, TraceEvent, TraceSink
@@ -78,6 +79,9 @@ class _Metric:
         self.name = name
         self.help = help_text
         self.labelnames = tuple(labelnames)
+        # One lock per metric: cheap, and it makes every read-modify-write
+        # (inc/observe) safe under the query service's handler threads.
+        self._lock = threading.Lock()
 
     def _key(self, labels: Dict[str, str]) -> _LabelValues:
         if set(labels) != set(self.labelnames):
@@ -111,7 +115,8 @@ class Counter(_Metric):
         if amount < 0:
             raise ValueError("counters only go up")
         key = self._key(labels)
-        self._values[key] = self._values.get(key, 0.0) + amount
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
 
     def value(self, **labels: str) -> float:
         return self._values.get(self._key(labels), 0.0)
@@ -135,11 +140,13 @@ class Gauge(_Metric):
         self._values: Dict[_LabelValues, float] = {}
 
     def set(self, value: float, **labels: str) -> None:
-        self._values[self._key(labels)] = float(value)
+        with self._lock:
+            self._values[self._key(labels)] = float(value)
 
     def inc(self, amount: float = 1.0, **labels: str) -> None:
         key = self._key(labels)
-        self._values[key] = self._values.get(key, 0.0) + amount
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
 
     def value(self, **labels: str) -> float:
         return self._values.get(self._key(labels), 0.0)
@@ -170,15 +177,16 @@ class Histogram(_Metric):
 
     def observe(self, value: float, **labels: str) -> None:
         key = self._key(labels)
-        counts = self._counts.get(key)
-        if counts is None:
-            counts = [0] * len(self.buckets)
-            self._counts[key] = counts
-        for index, bound in enumerate(self.buckets):
-            if value <= bound:
-                counts[index] += 1
-                break
-        self._sums[key] = self._sums.get(key, 0.0) + value
+        with self._lock:
+            counts = self._counts.get(key)
+            if counts is None:
+                counts = [0] * len(self.buckets)
+                self._counts[key] = counts
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    counts[index] += 1
+                    break
+            self._sums[key] = self._sums.get(key, 0.0) + value
 
     def count(self, **labels: str) -> int:
         return sum(self._counts.get(self._key(labels), ()))
@@ -215,20 +223,22 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._metrics: Dict[str, _Metric] = {}
+        self._lock = threading.Lock()
 
     def _register(self, cls, name: str, help_text: str,
                   labelnames: Sequence[str], **kwargs: Any):
-        existing = self._metrics.get(name)
-        if existing is not None:
-            if not isinstance(existing, cls) or existing.labelnames != tuple(labelnames):
-                raise ValueError(
-                    f"metric {name!r} already registered with a different "
-                    f"type or label set"
-                )
-            return existing
-        metric = cls(name, help_text, labelnames, **kwargs)
-        self._metrics[name] = metric
-        return metric
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls) or existing.labelnames != tuple(labelnames):
+                    raise ValueError(
+                        f"metric {name!r} already registered with a different "
+                        f"type or label set"
+                    )
+                return existing
+            metric = cls(name, help_text, labelnames, **kwargs)
+            self._metrics[name] = metric
+            return metric
 
     def counter(self, name: str, help_text: str = "",
                 labelnames: Sequence[str] = ()) -> Counter:

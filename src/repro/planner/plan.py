@@ -36,6 +36,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from ..backends.dispatch import resolve_backend
 from ..data.query import Instance, TreeQuery
+from ..errors import ApplicabilityError, ConfigError
 from .cost import COST_MODELS, calibration_constant, predict_load, raw_load
 from .stats import (
     QueryStatistics,
@@ -226,12 +227,12 @@ def plan_query(
     if statistics is None:
         if stats_mode == "in-model":
             if view is None:
-                raise ValueError("in-model statistics need a cluster view")
+                raise ConfigError("in-model statistics need a cluster view")
             statistics = collect_statistics_in_model(instance, view)
         elif stats_mode == "offline":
             statistics = collect_statistics(instance)
         else:
-            raise ValueError(f"unknown stats_mode {stats_mode!r}")
+            raise ConfigError(f"unknown stats_mode {stats_mode!r}")
 
     query = instance.query
     query_class = statistics.query_class
@@ -256,7 +257,7 @@ def plan_query(
             )
         )
     if not candidates:  # pragma: no cover - yannakakis/tree always apply
-        raise ValueError("no candidate algorithm has a cost model")
+        raise ApplicabilityError("no candidate algorithm has a cost model")
 
     def rank(score: CandidateScore) -> Tuple[float, int, str]:
         # Ties break toward the static per-class choice, then by name.

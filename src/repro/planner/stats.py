@@ -45,6 +45,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..data.query import Instance, TreeQuery
 from ..data.relation import Relation
+from ..errors import ApplicabilityError, ConfigError
 from ..primitives.kmv import MultiKMV
 from ..semiring import BOOLEAN
 
@@ -264,15 +265,15 @@ def estimate_out(instance: Instance, mode: str = "auto") -> Tuple[float, str]:
     order = query.path_order()
     if mode == "kmv" or (mode == "auto" and order is not None and query.is_line()):
         if order is None:
-            raise ValueError("kmv OUT estimation needs a line-shaped query")
+            raise ApplicabilityError("kmv OUT estimation needs a line-shaped query")
         return _line_out_sketch(instance, order), "kmv-sketch"
     if mode == "degree" or (mode == "auto" and query.is_star()):
         if not query.is_star():
-            raise ValueError("degree-bound OUT estimation needs a star query")
+            raise ApplicabilityError("degree-bound OUT estimation needs a star query")
         return _star_out_degree_bound(instance), "degree-bound"
     if mode in ("auto", "oracle"):
         return _oracle_out(instance), "oracle"
-    raise ValueError(f"unknown OUT estimation mode {mode!r}")
+    raise ConfigError(f"unknown OUT estimation mode {mode!r}")
 
 
 # -- collection entry points ---------------------------------------------------

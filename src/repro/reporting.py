@@ -2,26 +2,23 @@
 
 The benchmark suite prints tables for humans; this module produces the
 same comparisons as *data* — for notebooks, CI dashboards, or the CLI.
-The measurement entry points moved to the :mod:`repro.api` facade
+The measurement entry points live on the :mod:`repro.api` facade
 (:func:`repro.api.compare`, :func:`repro.api.table1`); this module keeps
-the row data type, :func:`render_markdown`, and deprecated forwarders for
-the original import paths.
+the row data type and :func:`render_markdown`.  The 1.x deprecated
+forwarders (``table1_report``, ``compare_on``) were removed with facade
+2.0 — see CHANGELOG.md.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import asdict, dataclass
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, Sequence
 
 from .api import TABLE1_FAMILIES
-from .data.query import Instance
 
 __all__ = [
     "ComparisonRow",
     "TABLE1_FAMILIES",
-    "compare_on",
-    "table1_report",
     "render_markdown",
 ]
 
@@ -50,56 +47,6 @@ class ComparisonRow:
         record = asdict(self)
         record["speedup"] = self.speedup
         return record
-
-
-def compare_on(
-    instance: Instance,
-    label: str,
-    p: int = 16,
-    tracer: Optional[Any] = None,
-) -> ComparisonRow:
-    """Deprecated forwarder to :func:`repro.api.compare`.
-
-    The facade returns the full pair of :class:`~repro.core.executor.QueryResult`
-    objects (reports included); this wrapper keeps the original contract —
-    one :class:`ComparisonRow`, ``AssertionError`` on disagreement.
-    """
-    warnings.warn(
-        "repro.reporting.compare_on is deprecated; use repro.api.compare "
-        "with an ExecutionConfig",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    from .api import ExecutionConfig, compare
-
-    return compare(
-        instance, ExecutionConfig(p=p, tracer=tracer), scope=label
-    ).row(label)
-
-
-def table1_report(
-    scale: int = 300,
-    p: int = 16,
-    tracer: Optional[Any] = None,
-    families: Optional[Sequence[str]] = None,
-) -> List[ComparisonRow]:
-    """Deprecated forwarder to :func:`repro.api.table1`.
-
-    Same rows, same measurements: the implementation moved to the facade,
-    which takes an :class:`~repro.config.ExecutionConfig` instead of loose
-    ``p``/``tracer`` keywords.
-    """
-    warnings.warn(
-        "repro.reporting.table1_report is deprecated; use repro.api.table1 "
-        "with an ExecutionConfig",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    from .api import ExecutionConfig, table1
-
-    return table1(
-        scale=scale, config=ExecutionConfig(p=p, tracer=tracer), families=families
-    )
 
 
 def render_markdown(rows: Sequence[ComparisonRow]) -> str:

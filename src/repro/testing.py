@@ -31,7 +31,6 @@ __all__ = [
     "check_semiring",
     "oracle",
     "compare_algorithms",
-    "fuzz_differential",
     "OpaqueSemiring",
 ]
 
@@ -139,61 +138,3 @@ class OpaqueSemiring:
     @staticmethod
     def unwrap(value: _Opaque) -> int:
         return value.value
-
-
-def fuzz_differential(
-    iterations: int = 20,
-    seed: int = 0,
-    p: int = 4,
-    max_attrs: int = 6,
-    tuples: int = 12,
-    domain: int = 4,
-) -> int:
-    """Deprecated forwarder to :func:`repro.conformance.fuzz`.
-
-    The conformance package supersedes this helper: structured query
-    families instead of ad-hoc random trees, the full invariant catalog,
-    shrinking, and corpus serialization.  This wrapper keeps the original
-    contract — fully deterministic per seed (one ``random.Random(seed)``
-    drives the whole campaign), returns the number of instances checked,
-    raises ``AssertionError`` on the first differential disagreement.
-
-    ``max_attrs`` is accepted for compatibility but ignored: query shapes
-    now come from the generator's family grid, which covers every class
-    the executor dispatches on.
-    """
-    import warnings
-
-    warnings.warn(
-        "repro.testing.fuzz_differential is deprecated; use "
-        "repro.conformance.fuzz (or `repro fuzz` on the command line)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    del max_attrs  # shape control moved to GeneratorConfig.families
-
-    # Imported lazily: repro.conformance.generators imports OpaqueSemiring
-    # from this module.
-    from .conformance import FuzzConfig, fuzz
-
-    summary = fuzz(
-        FuzzConfig(
-            iterations=iterations,
-            seed=seed,
-            p=p,
-            max_tuples=tuples,
-            domain=domain,
-            invariants=("differential",),
-            shrink=True,
-            fail_fast=True,
-        )
-    )
-    if not summary.ok:
-        failure = summary.failures[0]
-        raise AssertionError(
-            f"differential fuzzing failed at iteration {failure.iteration} "
-            f"(family={failure.family}, semiring={failure.profile}, "
-            f"case seed={failure.case_seed}, shrunk to "
-            f"{failure.shrunk_tuples} tuples): {failure.message}"
-        )
-    return summary.checked

@@ -1,12 +1,10 @@
 """The ``repro.api`` facade and :class:`ExecutionConfig`.
 
-One import surface for everything the CLI can do: six entry points with
-config-object signatures, loose-keyword compatibility behind
-``DeprecationWarning``, and the deprecated ``repro.reporting`` measurement
-paths forwarding to the facade with identical results.
+One import surface for everything the CLI can do: versioned ``__all__``
+contract, config-object signatures only (facade 2.0 removed the loose
+keywords and the deprecated ``reporting``/``testing`` forwarders), and
+eager :class:`~repro.errors.ConfigError` validation at construction.
 """
-
-import warnings
 
 import pytest
 
@@ -14,21 +12,38 @@ from repro import ExecutionConfig
 from repro import api
 from repro.conformance import FuzzConfig
 from repro.data import Relation
-from repro.workloads import line_instance, planted_out_matmul
+from repro.workloads import planted_out_matmul
 
 # ------------------------------------------------------------------ surface
 
 
-def test_facade_exposes_all_six_entrypoints():
-    for name in ("run_query", "compare", "sweep", "table1", "fuzz", "chaos"):
+def test_facade_exposes_every_entrypoint():
+    for name in ("run_query", "compare", "explain", "sweep", "table1",
+                 "fuzz", "chaos"):
         assert callable(getattr(api, name)), name
         assert name in api.__all__
 
 
+def test_facade_all_contract_is_exact():
+    """``__all__`` is the surface: every name resolves, and the facade is
+    versioned independently of the package release."""
+    for name in api.__all__:
+        assert hasattr(api, name), name
+    assert api.__version__.startswith("2."), api.__version__
+    # The 1.x transitional paths are gone.
+    from repro import reporting, testing
+
+    assert not hasattr(reporting, "table1_report")
+    assert not hasattr(reporting, "compare_on")
+    assert not hasattr(testing, "fuzz_differential")
+
+
 def test_execution_config_validates():
-    with pytest.raises(ValueError):
+    from repro.errors import ConfigError
+
+    with pytest.raises(ConfigError):
         ExecutionConfig(p=0)
-    with pytest.raises(ValueError):
+    with pytest.raises(ConfigError):
         ExecutionConfig(backend="fortran")
     config = ExecutionConfig(p=4, backend="pytuple")
     assert config.with_backend("auto").backend == "auto"
@@ -49,22 +64,11 @@ def test_run_query_accepts_config():
     assert result.out_size == len(result.relation)
 
 
-def test_run_query_loose_kwargs_warn_and_apply():
-    instance = planted_out_matmul(n=40, out=160)
-    with pytest.warns(DeprecationWarning):
-        loose = api.run_query(instance, p=4, algorithm="yannakakis")
-    assert loose.algorithm == "yannakakis"
-    with warnings.catch_warnings():
-        warnings.simplefilter("error")
-        configured = api.run_query(
-            instance, ExecutionConfig(p=4, algorithm="yannakakis")
-        )
-    assert loose.relation.tuples == configured.relation.tuples
-    assert loose.report.to_dict() == configured.report.to_dict()
-
-
-def test_run_query_rejects_unknown_kwargs():
+def test_run_query_rejects_loose_kwargs():
+    """Facade 2.0: every knob travels in the config object."""
     instance = planted_out_matmul(n=20, out=40)
+    with pytest.raises(TypeError):
+        api.run_query(instance, p=4)
     with pytest.raises(TypeError):
         api.run_query(instance, processors=4)
 
@@ -122,23 +126,15 @@ def test_chaos_pins_invariants():
 # ------------------------------------------------- deprecated import paths
 
 
-def test_reporting_forwarders_warn_but_agree():
+def test_reporting_keeps_row_type_and_markdown():
+    """``repro.reporting`` is rows + rendering only; measurement lives on
+    the facade."""
     from repro import reporting
 
-    with pytest.warns(DeprecationWarning):
-        rows = reporting.table1_report(scale=30, p=4, families=["matmul"])
-    with warnings.catch_warnings():
-        warnings.simplefilter("error")
-        fresh = api.table1(scale=30, config=ExecutionConfig(p=4), families=["matmul"])
-    assert [row.to_dict() for row in rows] == [row.to_dict() for row in fresh]
-
-    instance = line_instance(3, 30, 8, seed=2)
-    with pytest.warns(DeprecationWarning):
-        row = reporting.compare_on(instance, "line", p=4)
-    assert row.label == "line"
-    assert row.to_dict() == api.compare(
-        instance, ExecutionConfig(p=4), scope="line"
-    ).row("line").to_dict()
+    rows = api.table1(scale=30, config=ExecutionConfig(p=4), families=["matmul"])
+    markdown = reporting.render_markdown(rows)
+    assert "| matmul |" in markdown
+    assert reporting.TABLE1_FAMILIES == api.TABLE1_FAMILIES
 
 
 # ----------------------------------------------------- Relation memoization

@@ -104,15 +104,18 @@ def test_write_results_json_accepts_bare_filename(tmp_path, monkeypatch):
     assert json.load(open("results.json"))["tables"] == {}
 
 
-def test_table1_report_empty_family_selection():
-    from repro.reporting import TABLE1_FAMILIES, table1_report
+def test_table1_empty_family_selection():
+    from repro.api import TABLE1_FAMILIES, table1
+    from repro.config import ExecutionConfig
 
-    assert table1_report(scale=40, p=4, families=()) == []
-    rows = table1_report(scale=40, p=4, families=("matmul",))
+    config = ExecutionConfig(p=4)
+    assert table1(scale=40, config=config, families=()) == []
+    rows = table1(scale=40, config=config, families=("matmul",))
     assert [row.label for row in rows] == ["matmul"]
     assert set(TABLE1_FAMILIES) >= {"matmul", "line", "star", "tree"}
 
     import pytest
+    from repro.errors import ConfigError
 
-    with pytest.raises(ValueError):
-        table1_report(scale=40, p=4, families=("nope",))
+    with pytest.raises(ConfigError):
+        table1(scale=40, config=config, families=("nope",))

@@ -127,9 +127,11 @@ def test_trace_json(capsys, tmp_path):
 
 
 def test_reporting_module():
-    from repro.reporting import render_markdown, table1_report
+    from repro import api
+    from repro.config import ExecutionConfig
+    from repro.reporting import render_markdown
 
-    rows = table1_report(scale=80, p=4)
+    rows = api.table1(scale=80, config=ExecutionConfig(p=4))
     assert [row.label for row in rows] == ["matmul", "line", "star", "tree"]
     for row in rows:
         assert row.baseline_load > 0 and row.new_load > 0
@@ -329,3 +331,39 @@ def test_trace_json_has_no_filter_keys_by_default(capsys, tmp_path):
     document = json.loads(capsys.readouterr().out)
     assert code == 0
     assert "filters" not in document and "phase_loads" not in document
+
+
+def test_serve_preloads_instances_and_configures_state(capsys, tmp_path,
+                                                       monkeypatch):
+    """`repro serve` builds a ServiceState from its flags and registers
+    every --preload file before binding (the server loop is stubbed)."""
+    import repro.service
+    from repro.io import instance_to_json
+    from repro.workloads import planted_out_matmul
+
+    path = tmp_path / "mm.json"
+    path.write_text(instance_to_json(planted_out_matmul(n=20, out=40)))
+    captured = {}
+    monkeypatch.setattr(
+        repro.service, "serve",
+        lambda state, host, port, verbose: captured.update(
+            state=state, host=host, port=port),
+    )
+    code = main(["serve", "--preload", f"mm={path}", "--port", "0",
+                 "--max-concurrent", "2", "--queue-depth", "3",
+                 "--load-budget", "9000", "--p", "4"])
+    assert code == 0
+    assert "preloaded 'mm'" in capsys.readouterr().out
+    state = captured["state"]
+    assert [e["name"] for e in state.registry.list()] == ["mm"]
+    assert state.admission.max_concurrent == 2
+    assert state.admission.queue_depth == 3
+    assert state.admission.load_budget == 9000
+    assert state.default_config.p == 4
+
+
+def test_serve_rejects_malformed_preload_specs(capsys, tmp_path):
+    assert main(["serve", "--preload", "no-equals-sign"]) == 2
+    assert "NAME=PATH" in capsys.readouterr().err
+    assert main(["serve", "--preload", f"x={tmp_path}/missing.json"]) == 2
+    assert "cannot preload" in capsys.readouterr().err

@@ -149,8 +149,11 @@ def test_em_reduction_formulas():
     assert em_lower_bound_pagh_stockel(1e6, 1e6, memory=1e4, block=100) > 0
 
 
-def test_fuzz_differential_helper():
-    from repro.testing import fuzz_differential
+def test_differential_fuzz_via_conformance():
+    """The 1.x ``testing.fuzz_differential`` forwarder is gone; the
+    conformance campaign is the one differential entry point."""
+    from repro.conformance import FuzzConfig, fuzz
 
-    with pytest.deprecated_call():
-        assert fuzz_differential(iterations=5, seed=3, p=3) == 5
+    summary = fuzz(FuzzConfig(iterations=5, seed=3, p=3,
+                              invariants=("differential",)))
+    assert summary.ok and summary.checked == 5

@@ -308,18 +308,21 @@ def test_activated_profiler_disables_dispatch():
 
 
 @needs_numpy
-def test_faults_fall_back_sequentially_with_meters_untouched(forced_dispatch):
-    """A fault schedule under workers=2 runs the sequential engine: same
-    answers and meters as the workers=1 faulted run, nothing dispatched."""
+def test_faults_with_process_mode_rejected_at_construction():
+    """ExecutionConfig eagerly rejects the faults + process-mode pairing
+    (facade 2.0); at the cluster level the process gate still falls back
+    sequentially, so a faulted cluster never dispatches."""
+    import pytest
+
+    from repro.errors import ConfigError
     from repro.mpc.faults import Fault, FaultSchedule
 
-    instance = materialize(_case(seed=24))
     schedule = FaultSchedule([Fault("drop", 0, 1)])
-    pool = get_pool(2)
-    before = len(pool.dispatch_log)
-    faulted = _run_serialized(instance, p=5, workers=2, fault_schedule=schedule)
-    assert faulted == _run_serialized(instance, p=5, workers=1, fault_schedule=schedule)
-    assert len(pool.dispatch_log) == before
+    with pytest.raises(ConfigError):
+        ExecutionConfig(fault_schedule=schedule, workers=2)
+    # workers=1 with faults stays legal.
+    config = ExecutionConfig(fault_schedule=schedule, workers=1)
+    assert config.workers == 1
 
 
 @needs_numpy

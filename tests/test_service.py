@@ -1,0 +1,423 @@
+"""End-to-end battery for the query service (ISSUE 9 acceptance).
+
+Proves, against both the HTTP-free :class:`~repro.service.ServiceState`
+and a live :class:`~repro.service.ReproServer` socket:
+
+* concurrent requests execute under the admission cap (the controller's
+  ``peak_active`` high-water mark never exceeds ``max_concurrent``);
+* a warm cache hit returns *bit-identical* JSON to the cold run;
+* re-registering an instance with different data invalidates its cached
+  responses and forces a recompute;
+* over-budget requests get 429 *without executing anything*;
+* ``GET /metrics`` exposes the request/cache-hit/rejection counters in
+  Prometheus 0.0.4 text format;
+* the typed error hierarchy maps to HTTP statuses end to end
+  (404/400/422/429).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.config import ExecutionConfig
+from repro.io import instance_to_json
+from repro.service import (
+    AdmissionController,
+    AdmissionRejected,
+    ReproServer,
+    ServiceState,
+)
+from repro.workloads import line_instance, planted_out_matmul, star_instance
+
+
+def _body(document) -> bytes:
+    return json.dumps(document).encode("utf-8")
+
+
+def _register(state: ServiceState, name: str, instance) -> dict:
+    status, _, payload, _ = state.handle(
+        "POST", "/instances",
+        _body({"name": name, "instance": json.loads(instance_to_json(instance))}),
+    )
+    assert status == 200, payload
+    return json.loads(payload)["registered"]
+
+
+def _query(state: ServiceState, document) -> "tuple[int, dict, bytes, dict]":
+    status, _, payload, headers = state.handle("POST", "/query", _body(document))
+    return status, json.loads(payload), payload, headers
+
+
+# -- warm hits, invalidation, recompute --------------------------------------
+
+
+def test_warm_hit_is_bit_identical_and_skips_execution():
+    state = ServiceState()
+    _register(state, "mm", planted_out_matmul(n=40, out=80))
+
+    request = {"instance": "mm", "config": {"p": 4}}
+    status1, doc1, cold_bytes, headers1 = _query(state, request)
+    status2, doc2, warm_bytes, headers2 = _query(state, request)
+
+    assert status1 == status2 == 200
+    assert headers1["X-Repro-Cache"] == "miss"
+    assert headers2["X-Repro-Cache"] == "hit"
+    assert warm_bytes == cold_bytes  # byte-for-byte, not just equal JSON
+    assert doc1["out_size"] == 80
+    assert doc1["answer"] and doc1["report"] and doc1["trace"]["events"] > 0
+    # exactly one execution happened
+    assert state.admission.admitted == 1
+    assert state.cache.stats()["hits"] == 1
+
+
+def test_reregistering_same_data_keeps_the_cache_warm():
+    state = ServiceState()
+    instance = planted_out_matmul(n=30, out=60)
+    first = _register(state, "mm", instance)
+    _query(state, {"instance": "mm"})
+
+    second = _register(state, "mm", instance)  # identical content
+    assert second["digest"] == first["digest"]
+    assert second["generation"] == 2
+    _, _, _, headers = _query(state, {"instance": "mm"})
+    assert headers["X-Repro-Cache"] == "hit"
+    assert state.admission.admitted == 1
+
+
+def test_mutating_an_instance_invalidates_and_forces_recompute():
+    state = ServiceState()
+    _register(state, "data", planted_out_matmul(n=30, out=60))
+    _, doc_a, bytes_a, _ = _query(state, {"instance": "data"})
+
+    # same name, different content: digest changes, cache entries die
+    _register(state, "data", planted_out_matmul(n=30, out=120))
+    status, doc_b, bytes_b, headers = _query(state, {"instance": "data"})
+    assert status == 200
+    assert headers["X-Repro-Cache"] == "miss"
+    assert doc_b["digest"] != doc_a["digest"]
+    assert doc_b["out_size"] > doc_a["out_size"]
+    assert bytes_b != bytes_a
+    assert state.admission.admitted == 2
+    assert state.cache.stats()["invalidations"] >= 1
+
+
+def test_drop_invalidates_cached_responses():
+    state = ServiceState()
+    instance = planted_out_matmul(n=30, out=60)
+    _register(state, "mm", instance)
+    _query(state, {"instance": "mm"})
+
+    status, _, payload, _ = state.handle("DELETE", "/instances/mm", None)
+    assert status == 200
+    status, _, payload, _ = state.handle("POST", "/query",
+                                         _body({"instance": "mm"}))
+    assert status == 404
+
+    # re-registering the *same* data does not resurrect the cache
+    _register(state, "mm", instance)
+    _, _, _, headers = _query(state, {"instance": "mm"})
+    assert headers["X-Repro-Cache"] == "miss"
+
+
+def test_compare_and_explain_endpoints():
+    state = ServiceState()
+    _register(state, "star", star_instance(3, 40, 40, 5, seed=1))
+
+    status, _, payload, headers = state.handle(
+        "POST", "/compare", _body({"instance": "star", "config": {"p": 4}})
+    )
+    document = json.loads(payload)
+    assert status == 200
+    assert document["baseline"] and document["ours"]
+    assert document["speedup"] > 0
+    # compare results cache independently of /query results
+    status, _, payload2, headers2 = state.handle(
+        "POST", "/compare", _body({"instance": "star", "config": {"p": 4}})
+    )
+    assert headers2["X-Repro-Cache"] == "hit"
+    assert payload2 == payload
+
+    status, _, payload, _ = state.handle(
+        "POST", "/explain", _body({"instance": "star", "config": {"p": 4}})
+    )
+    plan = json.loads(payload)["plan"]
+    assert status == 200
+    assert plan["chosen"] if "chosen" in plan else plan  # plan renders
+    # explain never executes and never touches the admission controller
+    assert state.admission.admitted == 1
+
+
+# -- admission control --------------------------------------------------------
+
+
+def test_concurrent_queries_respect_the_admission_cap():
+    state = ServiceState(max_concurrent=2, queue_depth=16)
+    _register(state, "mm", planted_out_matmul(n=60, out=120))
+
+    results = []
+    lock = threading.Lock()
+
+    def run(seed: int) -> None:
+        # distinct seeds → distinct cache keys → every request executes
+        status, _, payload, _ = state.handle(
+            "POST", "/query",
+            _body({"instance": "mm", "config": {"p": 4, "seed": seed}}),
+        )
+        with lock:
+            results.append((seed, status))
+
+    threads = [threading.Thread(target=run, args=(seed,)) for seed in range(6)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+
+    assert sorted(status for _, status in results) == [200] * 6
+    stats = state.admission.stats()
+    assert stats["admitted"] == 6
+    assert 1 <= stats["peak_active"] <= 2
+    assert stats["active"] == 0
+
+
+def test_queue_full_rejects_instead_of_piling_up():
+    controller = AdmissionController(max_concurrent=1, queue_depth=1)
+    release = threading.Event()
+    holding = threading.Event()
+
+    def hold() -> None:
+        with controller.slot():
+            holding.set()
+            release.wait(10)
+
+    def wait_for_slot() -> None:
+        with controller.slot(timeout=10):
+            pass
+
+    holder = threading.Thread(target=hold)
+    holder.start()
+    assert holding.wait(10)
+    waiter = threading.Thread(target=wait_for_slot)
+    waiter.start()
+    deadline = time.time() + 10
+    while controller.queued < 1 and time.time() < deadline:
+        time.sleep(0.001)
+    assert controller.queued == 1
+
+    # cap reached, queue full: the third caller is rejected immediately
+    with pytest.raises(AdmissionRejected) as caught:
+        with controller.slot():
+            pass  # pragma: no cover
+    assert caught.value.reason == "queue-full"
+
+    release.set()
+    holder.join(10)
+    waiter.join(10)
+    assert controller.peak_active == 1
+    assert controller.admitted == 2
+    assert controller.rejections["queue-full"] == 1
+
+
+def test_over_budget_request_gets_429_without_executing():
+    state = ServiceState(load_budget=1)  # any real query predicts more
+    _register(state, "mm", planted_out_matmul(n=40, out=80))
+
+    status, _, payload, headers = state.handle(
+        "POST", "/query", _body({"instance": "mm", "config": {"p": 4}})
+    )
+    document = json.loads(payload)
+    assert status == 429
+    assert document["error"] == "AdmissionRejected"
+    assert headers["Retry-After"] == "1"
+    # nothing ran: no slot was ever taken, nothing was cached
+    assert state.admission.admitted == 0
+    assert state.admission.rejections["load-budget"] == 1
+    assert len(state.cache) == 0
+
+
+def test_request_level_budget_tightens_the_server_budget():
+    state = ServiceState()  # unlimited server budget
+    _register(state, "mm", planted_out_matmul(n=40, out=80))
+
+    status, _, payload, _ = state.handle(
+        "POST", "/query", _body({"instance": "mm", "load_budget": 1})
+    )
+    assert status == 429
+    assert state.admission.admitted == 0
+
+    # without the request budget the same query runs fine
+    status, _, _, _ = state.handle(
+        "POST", "/query", _body({"instance": "mm"})
+    )
+    assert status == 200
+
+    status, _, payload, _ = state.handle(
+        "POST", "/query", _body({"instance": "mm", "load_budget": "cheap"})
+    )
+    assert status == 400  # budget must be a number
+
+
+# -- error mapping end to end -------------------------------------------------
+
+
+def test_http_status_mapping_end_to_end():
+    state = ServiceState()
+    _register(state, "star", star_instance(3, 30, 30, 4, seed=0))
+
+    def post(path, document):
+        status, _, payload, _ = state.handle("POST", path, _body(document))
+        return status, json.loads(payload)
+
+    # 404: unregistered instance name
+    status, document = post("/query", {"instance": "ghost"})
+    assert (status, document["error"]) == (404, "UnknownInstanceError")
+
+    # 400: unknown config key (observers are server-side concerns)
+    status, document = post("/query", {"instance": "star",
+                                       "config": {"tracer": "yes"}})
+    assert (status, document["error"]) == (400, "ConfigError")
+
+    # 400: bad knob value, rejected eagerly at ExecutionConfig construction
+    status, document = post("/query", {"instance": "star",
+                                       "config": {"backend": "fortran"}})
+    assert (status, document["error"]) == (400, "ConfigError")
+
+    # 422: algorithm inapplicable to the query shape (matmul needs two
+    # relations in matrix form; a 3-arm star has three)
+    status, document = post("/query", {"instance": "star",
+                                       "config": {"algorithm": "matmul"}})
+    assert (status, document["error"]) == (422, "ApplicabilityError")
+
+    # 404: unrouted path; 400: non-JSON body
+    status, _, payload, _ = state.handle("GET", "/nope", None)
+    assert status == 404
+    status, _, payload, _ = state.handle("POST", "/query", b"{not json")
+    assert status == 400
+
+    # only the 422 request ever reached a slot (the shape check fires
+    # inside the executor); nothing produced or cached a result
+    assert state.admission.admitted == 1
+    assert len(state.cache) == 0
+
+
+# -- metrics -------------------------------------------------------------------
+
+
+def test_metrics_exposes_prometheus_counters():
+    state = ServiceState()
+    _register(state, "mm", planted_out_matmul(n=30, out=60))
+    state.handle("POST", "/query", _body({"instance": "mm"}))  # miss
+    state.handle("POST", "/query", _body({"instance": "mm"}))  # hit
+    state.handle("POST", "/query", _body({"instance": "ghost"}))  # 404
+    # a fresh cache key (new seed) so the budget check actually runs: 429
+    state.handle("POST", "/query", _body({
+        "instance": "mm", "config": {"seed": 9}, "load_budget": 1,
+    }))
+
+    status, content_type, payload, _ = state.handle("GET", "/metrics", None)
+    text = payload.decode("utf-8")
+    assert status == 200
+    assert content_type.startswith("text/plain; version=0.0.4")
+    assert "# TYPE repro_service_requests_total counter" in text
+    assert 'repro_service_requests_total{endpoint="query",status="200"} 2' in text
+    assert 'repro_service_requests_total{endpoint="query",status="404"} 1' in text
+    assert 'repro_service_cache_hits_total{endpoint="query"} 1' in text
+    assert 'repro_service_cache_misses_total{endpoint="query"} 2' in text
+    assert 'repro_service_executions_total{endpoint="query"} 1' in text
+    assert 'repro_service_rejections_total{reason="load-budget"} 1' in text
+    assert 'repro_service_errors_total{error="UnknownInstanceError"} 1' in text
+    assert "repro_service_cache_entries 1" in text
+    assert "repro_service_instances 1" in text
+    # execution meters from the shared registry ride along
+    assert "repro_last_max_load" in text
+
+
+# -- the live HTTP server ------------------------------------------------------
+
+
+def _http(method: str, url: str, document=None):
+    data = _body(document) if document is not None else None
+    request = urllib.request.Request(url, data=data, method=method)
+    if data is not None:
+        request.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), error.read()
+
+
+def test_live_server_round_trip():
+    """Sockets, threads, real HTTP: register → query ×2 → metrics → drop."""
+    state = ServiceState(max_concurrent=2)
+    with ReproServer(state) as server:
+        status, _, payload = _http("GET", f"{server.url}/healthz")
+        assert status == 200
+        assert json.loads(payload)["status"] == "ok"
+
+        instance = line_instance(3, 40, 12, seed=2)
+        status, _, payload = _http("POST", f"{server.url}/instances", {
+            "name": "line",
+            "instance": json.loads(instance_to_json(instance)),
+        })
+        assert status == 200
+        digest = json.loads(payload)["registered"]["digest"]
+
+        request = {"instance": "line", "config": {"p": 4}}
+        status1, headers1, cold = _http("POST", f"{server.url}/query", request)
+        status2, headers2, warm = _http("POST", f"{server.url}/query", request)
+        assert status1 == status2 == 200
+        assert headers1["X-Repro-Cache"] == "miss"
+        assert headers2["X-Repro-Cache"] == "hit"
+        assert warm == cold
+        assert json.loads(cold)["digest"] == digest
+
+        status, headers, payload = _http("GET", f"{server.url}/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain; version=0.0.4")
+        assert 'repro_service_cache_hits_total{endpoint="query"} 1' \
+            in payload.decode("utf-8")
+
+        status, _, payload = _http("GET", f"{server.url}/instances")
+        assert [e["name"] for e in json.loads(payload)["instances"]] == ["line"]
+
+        status, _, _ = _http("DELETE", f"{server.url}/instances/line")
+        assert status == 200
+        status, _, _ = _http("POST", f"{server.url}/query", request)
+        assert status == 404
+
+
+def test_live_server_concurrent_clients_under_cap():
+    state = ServiceState(max_concurrent=2, queue_depth=16)
+    with ReproServer(state) as server:
+        instance = planted_out_matmul(n=50, out=100)
+        _http("POST", f"{server.url}/instances", {
+            "name": "mm", "instance": json.loads(instance_to_json(instance)),
+        })
+
+        statuses = []
+        lock = threading.Lock()
+
+        def client(seed: int) -> None:
+            status, _, _ = _http("POST", f"{server.url}/query", {
+                "instance": "mm", "config": {"p": 4, "seed": seed},
+            })
+            with lock:
+                statuses.append(status)
+
+        threads = [threading.Thread(target=client, args=(seed,))
+                   for seed in range(5)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+
+        assert statuses == [200] * 5
+        stats = state.admission.stats()
+        assert stats["admitted"] == 5
+        assert stats["peak_active"] <= 2

@@ -1,0 +1,216 @@
+"""Cache-key canonicalization and the LRU byte-budget cache.
+
+The service's warm-hit bit-identity promise rests on the cache key being
+a *pure function of the request's semantics*:
+
+* :func:`~repro.service.instance_digest` must not change when the same
+  logical data arrives in a different tuple insertion order, and must not
+  read any codec interning state (running the columnar backend — which
+  interns every value into per-cluster codecs — leaves it untouched);
+* :func:`~repro.service.config_fingerprint` must ignore the non-semantic
+  :class:`~repro.config.ExecutionConfig` fields: observers (``tracer``,
+  ``profiler``) and the ``backend``/``workers`` knobs, which the
+  backend-differential and process-identity batteries prove cannot change
+  a response body.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import api
+from repro.backends.dispatch import HAS_NUMPY
+from repro.config import ExecutionConfig
+from repro.data.query import Instance
+from repro.data.relation import Relation
+from repro.obs import Profiler, RingBufferSink, Tracer
+from repro.service import (
+    ResultCache,
+    cache_key,
+    canonical_query,
+    config_fingerprint,
+    instance_digest,
+)
+from repro.workloads import planted_out_matmul, star_instance
+
+needs_numpy = pytest.mark.skipif(not HAS_NUMPY, reason="numpy unavailable")
+
+
+def _reordered(instance: Instance, reverse: bool = True) -> Instance:
+    """The same logical instance with every relation's tuples re-inserted
+    in reversed order (a different dict insertion order throughout)."""
+    relations = {}
+    for name, relation in instance.relations.items():
+        rows = list(relation)
+        if reverse:
+            rows.reverse()
+        relations[name] = Relation(name, relation.schema, rows)
+    return Instance(instance.query, relations, instance.semiring)
+
+
+# -- instance digest ---------------------------------------------------------
+
+
+def test_digest_stable_under_tuple_insertion_order():
+    instance = planted_out_matmul(n=30, out=60)
+    assert instance_digest(instance) == instance_digest(_reordered(instance))
+
+
+def test_digest_stable_across_query_shapes():
+    star = star_instance(3, 40, 40, 5, seed=1)
+    assert instance_digest(star) == instance_digest(_reordered(star))
+
+
+def test_digest_changes_with_data():
+    instance = planted_out_matmul(n=30, out=60)
+    other = planted_out_matmul(n=30, out=90)
+    assert instance_digest(instance) != instance_digest(other)
+
+
+def test_digest_changes_with_semiring():
+    from repro.semiring.standard import BOOLEAN, COUNTING
+
+    instance = planted_out_matmul(n=10, out=20)
+    relations = {name: rel for name, rel in instance.relations.items()}
+    boolean = Instance(
+        instance.query,
+        {
+            name: Relation(name, rel.schema,
+                           [(values, True) for values, _ in rel])
+            for name, rel in relations.items()
+        },
+        BOOLEAN,
+    )
+    assert instance.semiring is COUNTING
+    assert instance_digest(instance) != instance_digest(boolean)
+
+
+@needs_numpy
+def test_digest_ignores_codec_interning_order():
+    """Executing on the columnar backend interns every attribute value
+    into per-cluster codecs; the digest reads only logical values, so it
+    is byte-identical before and after — and identical to the digest of a
+    copy that was never executed at all."""
+    instance = planted_out_matmul(n=25, out=50)
+    twin = _reordered(instance, reverse=False)
+    before = instance_digest(instance)
+    api.run_query(instance, ExecutionConfig(p=4, backend="columnar"))
+    assert instance_digest(instance) == before
+    assert instance_digest(twin) == before
+
+
+# -- config fingerprint ------------------------------------------------------
+
+
+def test_fingerprint_ignores_observers_and_execution_mode():
+    base = ExecutionConfig(p=4)
+    observed = ExecutionConfig(
+        p=4,
+        tracer=Tracer([RingBufferSink()]),
+        profiler=Profiler(),
+    )
+    process_mode = ExecutionConfig(p=4, workers=4)
+    assert config_fingerprint(base) == config_fingerprint(observed)
+    assert config_fingerprint(base) == config_fingerprint(process_mode)
+
+
+@needs_numpy
+def test_fingerprint_ignores_backend():
+    assert config_fingerprint(ExecutionConfig(p=4, backend="numpy")) == \
+        config_fingerprint(ExecutionConfig(p=4, backend="pytuple"))
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"p": 5},
+    {"algorithm": "yannakakis"},
+    {"seed": 17},
+    {"validate": True},
+    {"stats_mode": "in-model"},
+])
+def test_fingerprint_tracks_every_semantic_field(kwargs):
+    assert config_fingerprint(ExecutionConfig(**kwargs)) != \
+        config_fingerprint(ExecutionConfig())
+
+
+def test_cache_key_separates_endpoints_and_instances():
+    instance = planted_out_matmul(n=10, out=20)
+    config = ExecutionConfig(p=4)
+    digest = instance_digest(instance)
+    query_key = cache_key("query", digest, instance.query,
+                          instance.semiring.name, config)
+    compare_key = cache_key("compare", digest, instance.query,
+                            instance.semiring.name, config)
+    other_key = cache_key("query", "f" * 32, instance.query,
+                          instance.semiring.name, config)
+    assert len({query_key, compare_key, other_key}) == 3
+
+
+def test_canonical_query_sorts_relations_and_output():
+    instance = star_instance(3, 20, 20, 4, seed=0)
+    text = canonical_query(instance.query)
+    names = [name for name, _ in instance.query.relations]
+    assert text == canonical_query(instance.query)  # deterministic
+    for name in names:
+        assert name in text
+
+
+# -- the LRU byte-budget cache -----------------------------------------------
+
+
+def test_cache_round_trip_and_counters():
+    cache = ResultCache(max_bytes=1024)
+    assert cache.get("k") is None
+    cache.put("k", "d1", b"body")
+    assert cache.get("k") == b"body"
+    stats = cache.stats()
+    assert stats == {
+        "entries": 1, "bytes": 4, "hits": 1, "misses": 1,
+        "evictions": 0, "invalidations": 0,
+    }
+
+
+def test_cache_evicts_least_recently_used_under_byte_budget():
+    cache = ResultCache(max_bytes=10)
+    cache.put("a", "d", b"aaaa")
+    cache.put("b", "d", b"bbbb")
+    assert cache.get("a") == b"aaaa"  # refresh a: b is now the LRU entry
+    cache.put("c", "d", b"cccc")      # 12 bytes > 10: evict b
+    assert cache.get("b") is None
+    assert cache.get("a") == b"aaaa"
+    assert cache.get("c") == b"cccc"
+    assert cache.stats()["evictions"] == 1
+    assert cache.current_bytes <= 10
+
+
+def test_cache_skips_bodies_larger_than_the_whole_budget():
+    cache = ResultCache(max_bytes=4)
+    cache.put("huge", "d", b"x" * 100)
+    assert len(cache) == 0
+    assert cache.get("huge") is None
+
+
+def test_cache_replaces_in_place_without_double_counting():
+    cache = ResultCache(max_bytes=100)
+    cache.put("k", "d", b"x" * 40)
+    cache.put("k", "d", b"y" * 60)
+    assert cache.current_bytes == 60
+    assert cache.get("k") == b"y" * 60
+
+
+def test_cache_invalidates_every_entry_of_a_digest():
+    cache = ResultCache(max_bytes=1024)
+    cache.put("q1", "digest-a", b"1")
+    cache.put("q2", "digest-a", b"2")
+    cache.put("q3", "digest-b", b"3")
+    assert cache.invalidate("digest-a") == 2
+    assert cache.get("q1") is None and cache.get("q2") is None
+    assert cache.get("q3") == b"3"
+    assert cache.stats()["invalidations"] == 2
+
+
+def test_cache_zero_budget_disables_storage():
+    cache = ResultCache(max_bytes=0)
+    cache.put("k", "d", b"")
+    # an empty body fits a zero budget; anything real does not
+    cache.put("k2", "d", b"body")
+    assert cache.get("k2") is None
