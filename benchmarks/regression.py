@@ -1,13 +1,17 @@
 """Perf-regression observatory over the committed benchmark baselines.
 
-The repo commits three machine-readable benchmark documents at the root —
+The repo commits four machine-readable benchmark documents at the root —
 ``BENCH_kernels.json`` (pytuple vs numpy wall-clock, written by
 ``bench_backends.py``), ``BENCH_parallel.json`` (sequential vs
 worker-pool wall-clock, written by ``bench_parallel.py``; its dense
 ≥ 1.5× speedup gate arms only when the document was measured on ≥ 4
-cores at full scale), and ``BENCH_planner.json`` (cost-based planner
-regret sweep, written by ``bench_planner.py``).  This script turns them
-from write-only artifacts into a regression gate:
+cores at full scale), ``BENCH_planner.json`` (cost-based planner
+regret sweep, written by ``bench_planner.py``), and ``BENCH_ivm.json``
+(materialized-view maintenance vs recompute loads, written by
+``bench_ivm.py``; at full scale its small-delta rows must beat recompute
+by ≥ 5× and every row's incremental answer must equal the recompute
+answer).  This script turns them from write-only artifacts into a
+regression gate:
 
 1. **normalize** — each document is flattened into named metrics with a
    kind (``wall`` seconds, ``load`` items, ``ratio``) and a direction
@@ -54,6 +58,7 @@ from typing import Any, Dict, List, Optional, Tuple
 __all__ = [
     "Metric",
     "Finding",
+    "normalize_ivm",
     "normalize_kernels",
     "normalize_parallel",
     "normalize_planner",
@@ -83,6 +88,7 @@ _ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir))
 KERNELS_BASELINE = os.path.join(_ROOT, "BENCH_kernels.json")
 PLANNER_BASELINE = os.path.join(_ROOT, "BENCH_planner.json")
 PARALLEL_BASELINE = os.path.join(_ROOT, "BENCH_parallel.json")
+IVM_BASELINE = os.path.join(_ROOT, "BENCH_ivm.json")
 
 
 @dataclass(frozen=True)
@@ -176,6 +182,26 @@ def normalize_planner(document: Dict[str, Any]) -> List[Metric]:
     return metrics
 
 
+def normalize_ivm(document: Dict[str, Any]) -> List[Metric]:
+    """Flatten a ``BENCH_ivm.json`` document into metrics."""
+    metrics = [
+        Metric("ivm/min_small_delta_advantage",
+               document["min_small_delta_advantage"], "ratio", "higher"),
+    ]
+    for row in document.get("rows", ()):
+        base = f"ivm/{row['sweep']}-n{row['n']}-d{row['changes']}"
+        metrics.append(
+            Metric(f"{base}/maintenance_load", row["maintenance_load"], "load")
+        )
+        metrics.append(
+            Metric(f"{base}/recompute_load", row["recompute_load"], "load")
+        )
+        metrics.append(
+            Metric(f"{base}/advantage", row["advantage"], "ratio", "higher")
+        )
+    return metrics
+
+
 def validate_baseline(suite: str, document: Dict[str, Any]) -> List[str]:
     """The document's own internal gates; a list of violation messages."""
     problems: List[str] = []
@@ -247,6 +273,24 @@ def validate_baseline(suite: str, document: Dict[str, Any]) -> List[str]:
                 f"cost-based dispatch lost to auto by "
                 f"{document['worst_vs_auto']:.2f}x (> 1.1x)"
             )
+    elif suite == "ivm":
+        full_scale = document.get("scale") == "full"
+        gate = float(document.get("gate_advantage", 5.0))
+        for row in document.get("rows", ()):
+            label = f"{row['sweep']} n={row['n']} delta={row['changes']}"
+            if not row.get("identical", False):
+                problems.append(
+                    f"{label}: incremental answer differs from recompute"
+                )
+            # The headline IVM gate: at full scale the committed document
+            # must show small-delta maintenance beating recompute by the
+            # advantage gate — otherwise delta propagation has stopped
+            # being |delta|-proportional.
+            if full_scale and row["sweep"] == "n" and row["advantage"] < gate:
+                problems.append(
+                    f"{label}: maintenance advantage {row['advantage']:.1f}x "
+                    f"below the {gate:.0f}x gate"
+                )
     return problems
 
 
@@ -402,6 +446,7 @@ def _record_trend(harness, findings: List[Finding], caption: str) -> None:
 # -- entry point ---------------------------------------------------------------
 
 _SUITES = {
+    "ivm": ("bench_ivm.py", IVM_BASELINE, normalize_ivm),
     "kernels": ("bench_backends.py", KERNELS_BASELINE, normalize_kernels),
     "parallel": ("bench_parallel.py", PARALLEL_BASELINE, normalize_parallel),
     "planner": ("bench_planner.py", PLANNER_BASELINE, normalize_planner),
@@ -426,11 +471,15 @@ def main(argv=None) -> int:
                         help="pre-made fresh BENCH_parallel.json to compare")
     parser.add_argument("--fresh-planner", default=None, metavar="PATH",
                         help="pre-made fresh BENCH_planner.json to compare")
+    parser.add_argument("--fresh-ivm", default=None, metavar="PATH",
+                        help="pre-made fresh BENCH_ivm.json to compare")
     parser.add_argument("--baseline-kernels", default=KERNELS_BASELINE,
                         metavar="PATH", help=argparse.SUPPRESS)
     parser.add_argument("--baseline-parallel", default=PARALLEL_BASELINE,
                         metavar="PATH", help=argparse.SUPPRESS)
     parser.add_argument("--baseline-planner", default=PLANNER_BASELINE,
+                        metavar="PATH", help=argparse.SUPPRESS)
+    parser.add_argument("--baseline-ivm", default=IVM_BASELINE,
                         metavar="PATH", help=argparse.SUPPRESS)
     parser.add_argument("--report-only", action="store_true",
                         help="never gate: report regressions but exit 0")
@@ -445,10 +494,12 @@ def main(argv=None) -> int:
 
     fresh_paths = {"kernels": args.fresh_kernels,
                    "parallel": args.fresh_parallel,
-                   "planner": args.fresh_planner}
+                   "planner": args.fresh_planner,
+                   "ivm": args.fresh_ivm}
     baseline_paths = {"kernels": args.baseline_kernels,
                       "parallel": args.baseline_parallel,
-                      "planner": args.baseline_planner}
+                      "planner": args.baseline_planner,
+                      "ivm": args.baseline_ivm}
     all_findings: List[Finding] = []
     problems: List[str] = []
     failed = False

@@ -17,7 +17,12 @@ query service (:mod:`repro.service`) can do by importing
 * :func:`table1` — the paper's Table 1 on adversarial workload families;
 * :func:`fuzz` — a conformance fuzzing campaign
   (:mod:`repro.conformance`);
-* :func:`chaos` — the fault-injection tier of the same campaign runner.
+* :func:`chaos` — the fault-injection tier of the same campaign runner;
+* :func:`materialize` / :func:`apply_delta` — incremental view
+  maintenance (:mod:`repro.ivm`): pin a live
+  :class:`~repro.ivm.MaterializedView` over an instance and keep it
+  current under :class:`~repro.ivm.DeltaBatch` streams, metered under
+  the ``maintenance`` tag of the cost report.
 
 **Contract.**  ``__all__`` is the surface: everything in it is covered by
 the compatibility promise tracked by :data:`__version__` (semantic
@@ -56,8 +61,9 @@ from .data.query import Instance
 #: Version of the *facade contract* (what ``__all__`` promises), bumped
 #: independently of the package release: 2.0 dropped the loose-keyword
 #: ``run_query`` path and the deprecated ``reporting``/``testing``
-#: forwarders.
-__version__ = "2.0.0"
+#: forwarders; 2.1 added incremental view maintenance
+#: (``materialize``/``apply_delta``).
+__version__ = "2.1.0"
 
 __all__ = [
     "__version__",
@@ -72,6 +78,8 @@ __all__ = [
     "table1",
     "fuzz",
     "chaos",
+    "materialize",
+    "apply_delta",
 ]
 
 
@@ -274,6 +282,38 @@ def fuzz(config: Optional["FuzzConfig"] = None, **overrides: Any) -> "FuzzSummar
     if overrides:
         config = replace(config, **overrides)
     return _conformance_fuzz(config)
+
+
+def materialize(
+    instance: Instance,
+    config: Optional[ExecutionConfig] = None,
+    name: str = "view",
+) -> "MaterializedView":
+    """Pin a live :class:`~repro.ivm.MaterializedView` over ``instance``.
+
+    The materialization is one ordinary distributed run whose meters
+    become the view's base report; keep the returned view and feed it
+    delta batches through :func:`apply_delta`.  The view copies the
+    instance's relations — later mutations of ``instance`` do not leak
+    into it.
+    """
+    from .ivm import materialize as _ivm_materialize
+
+    return _ivm_materialize(instance, config=config, name=name)
+
+
+def apply_delta(view: "MaterializedView", batch: "DeltaBatch") -> "DeltaResult":
+    """Apply one :class:`~repro.ivm.DeltaBatch` to ``view``.
+
+    Maintenance cost is proportional to the delta's join neighbourhood,
+    not to instance size, and accumulates under the ``maintenance`` tag
+    of ``view.report()`` — the base meters never change.  Raises
+    :class:`~repro.errors.UnsupportedDeltaError` when the batch contains
+    deletions and the view's semiring has no additive inverse, and
+    :class:`~repro.errors.ConfigError` on malformed changes (unknown
+    relation, arity mismatch, deleting an absent tuple).
+    """
+    return view.apply(batch)
 
 
 def chaos(config: Optional["FuzzConfig"] = None, **overrides: Any) -> "FuzzSummary":

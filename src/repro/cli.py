@@ -32,6 +32,13 @@ Commands aimed at kicking the tires without writing code:
   seeded recoverable fault schedules (crash/drop/duplicate/straggler with
   checkpoint-replay recovery, docs/model.md) plus one planted
   unrecoverable schedule that must fail loudly;
+* ``ivm`` — materialize a view over an instance JSON file and apply one
+  or more delta JSON files (the ``repro-delta/v1`` format,
+  docs/ivm.md): prints the maintained answer size and the
+  ``maintenance``-tagged cost report; ``--check`` recomputes from
+  scratch on the mutated instance and fails unless the incremental
+  answer is bit-identical, ``--export`` writes the maintained answer as
+  TSV;
 * ``serve`` — run the long-running HTTP/JSON query service
   (docs/service.md): named registered instances, a result cache with an
   LRU byte budget, planner-driven admission control, and Prometheus
@@ -299,6 +306,26 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="recoverable fault schedules per case × algorithm")
     chaos.add_argument("--faults", type=int, default=3,
                        help="faults per generated schedule")
+
+    ivm = sub.add_parser(
+        "ivm",
+        help="materialize a view and apply delta batches (docs/ivm.md)",
+    )
+    ivm.add_argument("--instance", required=True, metavar="PATH",
+                     help="instance JSON file (the repro.io format)")
+    ivm.add_argument("--delta", action="append", default=[], metavar="PATH",
+                     help="delta JSON file (repro-delta/v1); repeatable, "
+                     "applied in order")
+    ivm.add_argument("--p", type=int, default=8, help="number of servers")
+    add_backend(ivm)
+    ivm.add_argument("--check", action="store_true",
+                     help="also recompute from scratch on the mutated "
+                     "instance and exit 1 unless the incremental answer "
+                     "is bit-identical")
+    ivm.add_argument("--json", action="store_true",
+                     help="print a machine-readable JSON document")
+    ivm.add_argument("--export", default=None, metavar="PATH",
+                     help="write the maintained answer as TSV")
 
     serve = sub.add_parser(
         "serve",
@@ -795,6 +822,91 @@ def _run_campaign(args: argparse.Namespace, invariants, label: str,
     return 1
 
 
+def _answer_map(relation) -> Dict[Any, Any]:
+    """Tuples keyed by sorted-attribute order, so answers from relations
+    with different column orders compare directly."""
+    order = sorted(range(len(relation.schema)), key=lambda i: relation.schema[i])
+    return {tuple(values[i] for i in order): annotation
+            for values, annotation in relation}
+
+
+def _command_ivm(args: argparse.Namespace) -> int:
+    """Materialize a view, stream deltas through it, optionally verify."""
+    from .errors import ReproError
+    from .io import read_delta_json, read_instance_json, write_relation_tsv
+    from .ivm import mutate_instance
+
+    try:
+        instance = read_instance_json(args.instance)
+        batches = [read_delta_json(path) for path in args.delta]
+    except (OSError, ReproError, ValueError, KeyError) as error:
+        print(f"ERROR: {error}", file=sys.stderr)
+        return 2
+    config = ExecutionConfig(p=args.p, backend=args.backend,
+                             workers=args.workers)
+    try:
+        view = api.materialize(instance, config)
+        results = [view.apply(batch) for batch in batches]
+    except ReproError as error:
+        print(f"ERROR: {error}", file=sys.stderr)
+        return 2
+    report = view.report()
+    answer = view.answer()
+
+    check: Optional[Dict[str, Any]] = None
+    if args.check:
+        mutated = instance
+        for batch in batches:
+            mutated = mutate_instance(mutated, batch)
+        recompute = api.run_query(mutated, ExecutionConfig(
+            p=args.p, backend=args.backend, workers=args.workers))
+        check = {
+            "identical": _answer_map(answer) == _answer_map(recompute.relation),
+            "recompute_load": recompute.report.max_load,
+            "maintenance_load": report.maintenance_load,
+        }
+    if args.export:
+        write_relation_tsv(answer, args.export)
+
+    if args.json:
+        document = {
+            "instance": args.instance,
+            "input_size": instance.total_size,
+            "deltas": [result.to_dict() for result in results],
+            "out_size": view.out_size,
+            "report": report.to_dict(),
+            "export": args.export,
+        }
+        if check is not None:
+            document["check"] = check
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0 if check is None or check["identical"] else 1
+
+    print(f"instance={args.instance}  N={instance.total_size}  p={args.p}  "
+          f"semiring={instance.semiring.name}")
+    for path, result in zip(args.delta, results):
+        print(f"delta {path}: {result.changes} changes  "
+              f"runs={result.runs}  load={result.load}  "
+              f"out_size={result.out_size}")
+    print(f"OUT={view.out_size}  maintenance: "
+          f"load={report.maintenance_load} "
+          f"comm={report.maintenance_communication} "
+          f"rounds={report.maintenance_rounds} "
+          f"products={report.maintenance_products}")
+    if args.export:
+        print(f"answer written to {args.export}")
+    if check is not None:
+        if check["identical"]:
+            print(f"check: incremental answer identical to recompute "
+                  f"(maintenance load {check['maintenance_load']} vs "
+                  f"recompute load {check['recompute_load']})")
+        else:
+            print("check: MISMATCH between incremental answer and recompute",
+                  file=sys.stderr)
+            return 1
+    return 0
+
+
 def _command_serve(args: argparse.Namespace) -> int:
     """Start the HTTP/JSON query service (blocks until interrupted)."""
     from .errors import ConfigError, ReproError
@@ -877,6 +989,8 @@ def main(argv=None) -> int:
         return _command_fuzz(args)
     if args.command == "chaos":
         return _command_chaos(args)
+    if args.command == "ivm":
+        return _command_ivm(args)
     if args.command == "serve":
         return _command_serve(args)
     return 2  # pragma: no cover

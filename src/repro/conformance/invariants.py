@@ -29,7 +29,13 @@ Every invariant is a function ``check(case, config) -> None`` raising
 * ``planner-choice`` (opt-in, like ``chaos`` — registered in
   :data:`INVARIANTS` but not :data:`DEFAULT_INVARIANTS`) — cost-based
   dispatch picks an algorithm from ``applicable_algorithms``, reproduces
-  the oracle exactly, and attaches a self-consistent plan to the report.
+  the oracle exactly, and attaches a self-consistent plan to the report;
+* ``ivm-identity`` (opt-in) — the metamorphic IVM oracle: a
+  :class:`~repro.ivm.MaterializedView` fed a deterministic delta
+  sequence (inserts, annotation bumps, and — where the semiring is
+  invertible — deletions) must answer bit-identically to recomputing
+  from scratch on the mutated instance, and the maintained answers plus
+  the maintenance-tagged cost reports must agree across backends.
 """
 
 from __future__ import annotations
@@ -43,7 +49,7 @@ from ..data.relation import Relation
 from ..ram.evaluate import evaluate
 from ..semiring import BOOLEAN, COUNTING, Semiring
 from ..testing import OpaqueSemiring
-from .generators import FuzzCase, materialize
+from .generators import FuzzCase, PROFILES, materialize
 
 __all__ = [
     "InvariantViolation",
@@ -57,6 +63,7 @@ __all__ = [
     "check_columnar_identity",
     "check_planner_choice",
     "check_process_identity",
+    "check_ivm_identity",
 ]
 
 #: Generous load-growth allowance for the scaling invariant: constants
@@ -433,11 +440,128 @@ def check_planner_choice(case: FuzzCase, config) -> None:
         )
 
 
+def _ivm_delta_batches(case: FuzzCase, batches: int = 3):
+    """A deterministic delta sequence for ``case`` (same seed, same deltas).
+
+    Each batch mixes brand-new inserts, annotation bumps of existing keys,
+    and — when the case's semiring profile has additive inverses —
+    deletions, touching at most one key per relation per batch so the
+    generated sequence is order-independent within a batch.  Values are
+    drawn from the case's active domain so deltas actually join.
+    """
+    from ..ivm.delta import DeltaBatch, DeltaChange
+
+    spec = PROFILES[case.profile]
+    invertible = spec.make().negate is not None
+    rng = random.Random(case.seed ^ 0x1D3A)
+    state: Dict[str, set] = {
+        name: {values for values, _weight in rows}
+        for name, rows in case.skeleton.items()
+    }
+    domain = sorted(
+        {value for rows in case.skeleton.values()
+         for values, _weight in rows for value in values}
+    ) or [0]
+    names = [name for name, _ in case.query.relations]
+    result = []
+    fresh = 1000  # values outside any generated domain: guaranteed-new keys
+    for index in range(batches):
+        changes = []
+        used: set = set()
+        for step in range(rng.randint(1, 3)):
+            name = names[(index + step) % len(names)]
+            keys = sorted(key for key in state[name]
+                          if (name, key) not in used)
+            roll = rng.random()
+            if invertible and keys and roll < 0.34:
+                key = rng.choice(keys)
+                state[name].discard(key)
+                used.add((name, key))
+                changes.append(DeltaChange(name, "delete", key))
+                continue
+            if keys and roll < 0.67:
+                key = rng.choice(keys)  # bump an existing key
+            else:
+                key = (rng.choice(domain), rng.choice(domain))
+                if key in state[name] or (name, key) in used:
+                    key = (fresh, rng.choice(domain))
+                    fresh += 1
+                state[name].add(key)
+            if (name, key) in used:
+                continue
+            used.add((name, key))
+            weight = rng.randint(1, 4)
+            changes.append(DeltaChange(
+                name, "insert", key, spec.annotate(name, key, weight)
+            ))
+        if changes:
+            result.append(DeltaBatch(tuple(changes)))
+    return result
+
+
+def check_ivm_identity(case: FuzzCase, config) -> None:
+    """Incremental maintenance equals recompute-from-scratch, bit for bit.
+
+    Builds a :class:`~repro.ivm.MaterializedView` per backend, applies the
+    case's deterministic delta sequence, and requires (a) every backend's
+    maintained answer to equal the RAM oracle on the sequentially mutated
+    instance — annotations included — and (b) the maintained answers and
+    maintenance-tagged serialized cost reports to be identical across
+    backends.  Opt-in like ``columnar-identity`` (replay:
+    ``repro fuzz --invariants differential ivm-identity``).
+    """
+    from ..backends.dispatch import HAS_NUMPY
+    from ..config import ExecutionConfig
+    from ..ivm import MaterializedView
+    from ..ivm.delta import mutate_instance
+
+    batches = _ivm_delta_batches(case)
+    oracle_instance = materialize(case)
+    for batch in batches:
+        oracle_instance = mutate_instance(oracle_instance, batch)
+    expected = _result_map(evaluate(oracle_instance))
+
+    backends = ["pytuple"] + (["columnar"] if HAS_NUMPY else [])
+    outcomes = {}
+    for backend in backends:
+        view = MaterializedView(
+            materialize(case),
+            config=ExecutionConfig(p=config.p, backend=backend),
+        )
+        for batch in batches:
+            view.apply(batch)
+        answer = _result_map(view.answer())
+        if answer != expected:
+            missing = len(expected.keys() - answer.keys())
+            extra = len(answer.keys() - expected.keys())
+            raise InvariantViolation(
+                "ivm-identity",
+                backend,
+                f"incremental answer disagrees with recompute oracle over "
+                f"{case.profile}/{case.skew} after {len(batches)} batches: "
+                f"{len(answer)} vs {len(expected)} tuples "
+                f"({missing} missing, {extra} extra, "
+                f"{sum(1 for k in expected if k in answer and answer[k] != expected[k])} "
+                f"wrong annotations)",
+            )
+        outcomes[backend] = (answer, view.report().to_dict())
+    if len(outcomes) == 2:
+        reference, columnar = outcomes["pytuple"], outcomes["columnar"]
+        for what, index in (("answer", 0), ("cost report", 1)):
+            if reference[index] != columnar[index]:
+                raise InvariantViolation(
+                    "ivm-identity",
+                    "columnar",
+                    f"maintained {what} diverges between backends over "
+                    f"{case.profile}/{case.skew}",
+                )
+
+
 #: Name → checker; the runner cycles through this catalog.  The chaos tier
 #: (:mod:`repro.conformance.chaos`) registers its ``"chaos"`` invariant
 #: here too, so corpus replay resolves it by name.  ``planner-choice``,
-#: ``columnar-identity``, and ``process-identity`` are registered but
-#: opt-in (absent from :data:`DEFAULT_INVARIANTS`).
+#: ``columnar-identity``, ``process-identity``, and ``ivm-identity`` are
+#: registered but opt-in (absent from :data:`DEFAULT_INVARIANTS`).
 INVARIANTS: Dict[str, Callable[[FuzzCase, Any], None]] = {
     "differential": check_differential,
     "homomorphism": check_homomorphism,
@@ -447,6 +571,7 @@ INVARIANTS: Dict[str, Callable[[FuzzCase, Any], None]] = {
     "columnar-identity": check_columnar_identity,
     "process-identity": check_process_identity,
     "planner-choice": check_planner_choice,
+    "ivm-identity": check_ivm_identity,
 }
 
 #: The invariants a plain ``repro fuzz`` campaign cycles by default.  Kept

@@ -12,6 +12,7 @@ The hierarchy::
     ReproError
     ├── ConfigError(ValueError)          — invalid ExecutionConfig/knobs
     ├── ApplicabilityError(ValueError)   — algorithm ∕ query shape mismatch
+    ├── UnsupportedDeltaError(ValueError)— delta needs inverses the semiring lacks
     └── MPCError(RuntimeError)           — simulated-cluster failures
         ├── RoutingError                 — message to a server outside the view
         ├── AllocationError              — server-allocation request unsatisfiable
@@ -29,6 +30,7 @@ __all__ = [
     "ReproError",
     "ConfigError",
     "ApplicabilityError",
+    "UnsupportedDeltaError",
     "MPCError",
     "RoutingError",
     "AllocationError",
@@ -58,6 +60,17 @@ class ApplicabilityError(ReproError, ValueError):
     Also covers asking the planner for a plan when no registered
     candidate has a cost model.  Subclasses ``ValueError`` because the
     executor historically raised that.
+    """
+
+
+class UnsupportedDeltaError(ReproError, ValueError):
+    """A delta batch needs algebraic structure the semiring does not have.
+
+    Insert-only maintenance works over *any* commutative semiring (the
+    query result is multilinear in its relations), but deletions require
+    additive inverses — a ring, or at least bag-difference semantics.
+    Semirings that declare a :attr:`~repro.semiring.Semiring.negate`
+    callable (counting, real) accept deletions; all others raise this.
     """
 
 

@@ -7,7 +7,10 @@ Plain-text formats so instances can come from anywhere:
   (``int``/``float`` are built in);
 * **JSON** — a whole :class:`~repro.data.query.Instance` (query shape,
   output attributes, relations, named semiring) in one document, the
-  interchange format used to pin down benchmark inputs.
+  interchange format used to pin down benchmark inputs;
+* **delta JSON** (``repro-delta/v1``) — a :class:`~repro.ivm.DeltaBatch`
+  as one document, so change streams are replayable corpus artifacts
+  alongside the instances they mutate.
 
 Only the standard semirings can be named in JSON (annotations must be JSON
 values); arbitrary semirings still work through the TSV path with a custom
@@ -30,7 +33,14 @@ __all__ = [
     "instance_from_json",
     "write_instance_json",
     "read_instance_json",
+    "delta_to_json",
+    "delta_from_json",
+    "write_delta_json",
+    "read_delta_json",
 ]
+
+#: Format tag stamped into every serialized delta document.
+DELTA_FORMAT = "repro-delta/v1"
 
 _SEMIRINGS_BY_NAME: Dict[str, Semiring] = {s.name: s for s in STANDARD_SEMIRINGS}
 
@@ -162,6 +172,70 @@ def read_instance_json(path: str) -> Instance:
     """Load an instance written by :func:`write_instance_json`."""
     with open(path) as handle:
         return instance_from_json(json.load(handle))
+
+
+def delta_to_json(batch: "DeltaBatch") -> str:
+    """Serialize a :class:`~repro.ivm.DeltaBatch` to JSON.
+
+    Annotations and attribute values must be JSON-serializable (the same
+    constraint as :func:`instance_to_json`); tuples in values are stored
+    as lists and restored as tuples.
+    """
+    document = {
+        "format": DELTA_FORMAT,
+        "changes": [
+            {
+                "relation": change.relation,
+                "op": change.op,
+                "values": [_jsonify(v) for v in change.values],
+                **(
+                    {"annotation": _jsonify(change.annotation)}
+                    if change.annotation is not None
+                    else {}
+                ),
+            }
+            for change in batch
+        ],
+    }
+    return json.dumps(document)
+
+
+def delta_from_json(document: Union[str, dict]) -> "DeltaBatch":
+    """Inverse of :func:`delta_to_json`."""
+    from .ivm.delta import DeltaBatch, DeltaChange
+
+    data = json.loads(document) if isinstance(document, str) else document
+    if data.get("format") != DELTA_FORMAT:
+        raise ValueError(
+            f"not a delta document: format {data.get('format')!r}, "
+            f"expected {DELTA_FORMAT!r}"
+        )
+    return DeltaBatch(
+        tuple(
+            DeltaChange(
+                relation=entry["relation"],
+                op=entry["op"],
+                values=tuple(_unjsonify(v) for v in entry["values"]),
+                annotation=_unjsonify(entry.get("annotation")),
+            )
+            for entry in data["changes"]
+        )
+    )
+
+
+def write_delta_json(batch: "DeltaBatch", path: str, indent: int = 2) -> None:
+    """Write :func:`delta_to_json` output to ``path`` (pretty-printed,
+    stable key order — the mirror of :func:`write_instance_json`)."""
+    document = json.loads(delta_to_json(batch))
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=indent, sort_keys=True)
+        handle.write("\n")
+
+
+def read_delta_json(path: str) -> "DeltaBatch":
+    """Load a delta batch written by :func:`write_delta_json`."""
+    with open(path) as handle:
+        return delta_from_json(json.load(handle))
 
 
 def _jsonify(value: Any) -> Any:

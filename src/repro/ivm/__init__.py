@@ -1,0 +1,54 @@
+"""repro.ivm — incremental view maintenance over semiring deltas.
+
+Keeps a join-aggregate answer live under streams of tuple insertions and
+deletions, with maintenance cost proportional to the delta rather than to
+instance size N (the instance-optimality lens of Hu & Yi's acyclic joins
+work, arXiv:1903.09717):
+
+* :class:`MaterializedView` — pins a query, an
+  :class:`~repro.config.ExecutionConfig`, and per-relation indexed state;
+  applying a :class:`DeltaBatch` semijoin-restricts the other relations
+  to the delta's join neighbourhood, runs the restricted instance through
+  the ordinary distributed executor, and ⊕-merges the contribution into
+  the maintained answer.  All delta-run metering accumulates under the
+  distinct ``maintenance`` tag of :class:`~repro.mpc.stats.CostReport`.
+* :class:`DeltaBatch` / :class:`DeltaChange` — the change model.
+  Insert-only batches work over *any* commutative semiring (the monoid
+  case: answers are multilinear in the relations); deletions additionally
+  need additive inverses (:attr:`~repro.semiring.Semiring.negate` — the
+  counting and real rings), otherwise a typed
+  :class:`~repro.errors.UnsupportedDeltaError` is raised.
+* :func:`mutate_instance` — the from-scratch oracle's view of a batch,
+  anchoring the metamorphic contract: after any delta sequence the
+  incremental answer is bit-identical to recomputing on the mutated
+  instance.
+
+See docs/ivm.md for the delta model, the per-semiring invertibility
+matrix, and the maintenance-tag metering contract.
+"""
+
+from ..errors import UnsupportedDeltaError
+from .delta import (
+    DeltaBatch,
+    DeltaChange,
+    delete,
+    insert,
+    mutate_instance,
+    support_semiring,
+    validate_batch,
+)
+from .view import DeltaResult, MaterializedView, materialize
+
+__all__ = [
+    "MaterializedView",
+    "DeltaResult",
+    "DeltaBatch",
+    "DeltaChange",
+    "UnsupportedDeltaError",
+    "materialize",
+    "insert",
+    "delete",
+    "mutate_instance",
+    "support_semiring",
+    "validate_batch",
+]

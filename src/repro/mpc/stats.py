@@ -54,6 +54,16 @@ class CostReport:
     recovery_load: int = 0
     recovery_communication: int = 0
     recovery_rounds: int = 0
+    #: Incremental-view-maintenance overhead (:mod:`repro.ivm`): the cost of
+    #: delta propagation runs, accumulated by :class:`~repro.ivm.MaterializedView`
+    #: under the distinct ``maintenance`` tag — ``maintenance_load`` is the max
+    #: load over delta runs, the other three are totals.  Same contract as the
+    #: ``recovery`` tag: never mixed into the base meters, absent from
+    #: :meth:`to_dict` until a delta actually charged them.
+    maintenance_load: int = 0
+    maintenance_communication: int = 0
+    maintenance_rounds: int = 0
+    maintenance_products: int = 0
     #: Resolved algorithm after ``auto``/``cost`` dispatch — stamped by the
     #: executor ("" for reports built outside it, e.g. from traces).
     algorithm: str = ""
@@ -74,8 +84,9 @@ class CostReport:
 
         Recovery fields appear only when a fault actually charged them, so
         fault-free exports stay byte-identical to pre-fault-injection runs;
-        likewise ``algorithm``/``plan`` appear only when the executor
-        stamped them.
+        maintenance fields appear only when a view applied a delta, so
+        IVM-free exports are untouched; likewise ``algorithm``/``plan``
+        appear only when the executor stamped them.
         """
         record = {
             "max_load": self.max_load,
@@ -89,6 +100,12 @@ class CostReport:
             record["recovery_load"] = self.recovery_load
             record["recovery_communication"] = self.recovery_communication
             record["recovery_rounds"] = self.recovery_rounds
+        if (self.maintenance_load or self.maintenance_communication
+                or self.maintenance_rounds or self.maintenance_products):
+            record["maintenance_load"] = self.maintenance_load
+            record["maintenance_communication"] = self.maintenance_communication
+            record["maintenance_rounds"] = self.maintenance_rounds
+            record["maintenance_products"] = self.maintenance_products
         if self.algorithm:
             record["algorithm"] = self.algorithm
         if self.plan is not None:
@@ -110,6 +127,10 @@ class CostReport:
             recovery_load=int(record.get("recovery_load", 0)),
             recovery_communication=int(record.get("recovery_communication", 0)),
             recovery_rounds=int(record.get("recovery_rounds", 0)),
+            maintenance_load=int(record.get("maintenance_load", 0)),
+            maintenance_communication=int(record.get("maintenance_communication", 0)),
+            maintenance_rounds=int(record.get("maintenance_rounds", 0)),
+            maintenance_products=int(record.get("maintenance_products", 0)),
             algorithm=str(record.get("algorithm", "")),
             plan=record.get("plan"),
         )

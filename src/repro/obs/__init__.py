@@ -26,6 +26,7 @@ from .events import (
     FAULT_OPS,
     JsonlSink,
     LOAD_OPS,
+    MAINTENANCE_OP,
     PLAN_OP,
     POOL_OP,
     RingBufferSink,
@@ -95,6 +96,7 @@ __all__ = [
     "FAULT_OPS",
     "PLAN_OP",
     "POOL_OP",
+    "MAINTENANCE_OP",
     "pool_events",
     "event_to_dict",
     "event_from_dict",

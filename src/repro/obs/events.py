@@ -34,6 +34,7 @@ __all__ = [
     "FAULT_OPS",
     "PLAN_OP",
     "POOL_OP",
+    "MAINTENANCE_OP",
     "pool_events",
 ]
 
@@ -63,6 +64,15 @@ PLAN_OP = "plan"
 #: worker attribution lives in this out-of-band stream (round ``-1``,
 #: outside :data:`LOAD_OPS`, like :data:`PLAN_OP`).
 POOL_OP = "pool-wave"
+
+#: Incremental-view-maintenance summary event (:mod:`repro.ivm`): a
+#: :class:`~repro.ivm.MaterializedView` with a traced config emits one
+#: ``maintenance`` event per applied delta batch (round ``-1``, no
+#: servers, the :class:`~repro.ivm.DeltaResult` summary in ``detail``)
+#: after the batch's propagation runs — which themselves stream ordinary
+#: cluster events through the same tracer.  Outside :data:`LOAD_OPS`,
+#: like :data:`PLAN_OP`, so trace-rebuilt aggregates ignore it.
+MAINTENANCE_OP = "maintenance"
 
 
 def pool_events(pool: Any, *, scope: str = "") -> List["TraceEvent"]:

@@ -15,7 +15,7 @@ Every algorithm in :mod:`repro` manipulates annotations exclusively through a
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable
+from typing import Any, Callable, Iterable, Optional
 
 __all__ = ["Semiring", "SemiringError"]
 
@@ -47,6 +47,11 @@ class Semiring:
     normalize:
         Optional canonicalization applied to every produced element (e.g.
         ``frozenset`` for provenance sets).  Defaults to identity.
+    negate:
+        Additive inverse (``a ⊕ negate(a) = 0``) when the structure is in
+        fact a ring.  ``None`` — the default, and the paper's model, which
+        forbids subtraction — means deletions cannot be maintained
+        incrementally (:mod:`repro.ivm` raises ``UnsupportedDeltaError``).
     """
 
     name: str
@@ -56,6 +61,7 @@ class Semiring:
     mul: Callable[[Any, Any], Any]
     idempotent_add: bool = False
     normalize: Callable[[Any], Any] = field(default=lambda value: value)
+    negate: Optional[Callable[[Any], Any]] = None
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return f"Semiring({self.name})"

@@ -29,21 +29,25 @@ __all__ = [
 
 #: Natural numbers under (+, ×): COUNT / SUM aggregation.  With all
 #: annotations set to 1 a join-aggregate query computes COUNT(*) GROUP BY y.
+#: Actually lives inside the ring ℤ, so deltas with deletions are invertible.
 COUNTING = Semiring(
     name="counting",
     zero=0,
     one=1,
     add=operator.add,
     mul=operator.mul,
+    negate=operator.neg,
 )
 
-#: Reals under (+, ×): numeric sparse matrix multiplication.
+#: Reals under (+, ×): numeric sparse matrix multiplication.  A ring, so
+#: deltas with deletions are invertible.
 REAL = Semiring(
     name="real",
     zero=0.0,
     one=1.0,
     add=operator.add,
     mul=operator.mul,
+    negate=operator.neg,
 )
 
 #: Booleans under (∨, ∧): join-project / reachability.  Idempotent.

@@ -21,7 +21,13 @@ can plausibly serve traffic:
   format; ``GET /healthz`` is the liveness probe;
 * **planner reuse** — a server-side
   :class:`~repro.planner.stats.StatisticsCatalog` keyed by instance
-  digest feeds both admission estimates and ``POST /explain``.
+  digest feeds both admission estimates and ``POST /explain``;
+* **materialized views** (:mod:`~repro.service.views`) — ``POST /views``
+  pins a :class:`~repro.ivm.MaterializedView` over a registered
+  instance; ``POST /instances/<name>/deltas`` mutates the instance,
+  invalidates only the stale digest's cache entries, and refreshes
+  dependent views by delta propagation instead of recomputing
+  (docs/ivm.md).
 
 See docs/service.md for the endpoint reference and the error → HTTP
 status table.
@@ -42,6 +48,7 @@ from .cache import (
 from .handlers import ERROR_STATUS, ServiceState, status_for
 from .registry import InstanceRegistry, RegisteredInstance, UnknownInstanceError
 from .server import ReproServer, serve
+from .views import RegisteredView, UnknownViewError, ViewRegistry
 
 __all__ = [
     "AdmissionController",
@@ -49,10 +56,13 @@ __all__ = [
     "ERROR_STATUS",
     "InstanceRegistry",
     "RegisteredInstance",
+    "RegisteredView",
     "ReproServer",
     "ResultCache",
     "ServiceState",
     "UnknownInstanceError",
+    "UnknownViewError",
+    "ViewRegistry",
     "cache_key",
     "canonical_query",
     "config_fingerprint",

@@ -14,7 +14,14 @@ Endpoints:
 ``GET /metrics``       Prometheus 0.0.4 text exposition
 ``GET /instances``     registered-instance summaries
 ``POST /instances``    register ``{"name": …, "instance": <instance JSON>}``
-``DELETE /instances/<name>``  unregister
+``DELETE /instances/<name>``  unregister (drops dependent views)
+``POST /instances/<name>/deltas``  apply ``{"delta": <repro-delta/v1>}``:
+                       mutate the instance, invalidate only stale cache
+                       entries, refresh dependent views incrementally
+``GET /views``         materialized-view summaries
+``POST /views``        materialize ``{"name": …, "instance": …, "config"?}``
+``GET /views/<name>``  one view's summary plus its maintained answer
+``DELETE /views/<name>``  drop a view
 ``POST /query``        execute ``{"instance": …, "config": {…}}``
 ``POST /compare``      baseline vs configured algorithm, both reports
 ``POST /explain``      the planner's candidate table, no execution
@@ -27,6 +34,7 @@ Failures map deterministically from the typed hierarchy in
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import replace
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -39,9 +47,11 @@ from ..errors import (
     FaultError,
     MPCError,
     ReproError,
+    UnsupportedDeltaError,
     WorkerCrashError,
 )
-from ..io import instance_from_json
+from ..io import delta_from_json, instance_from_json
+from ..ivm import mutate_instance
 from ..obs import RingBufferSink, Tracer, observe_report
 from ..obs.registry import MetricsRegistry
 from ..planner import plan_query
@@ -49,6 +59,7 @@ from ..planner.stats import StatisticsCatalog
 from .admission import AdmissionController, AdmissionRejected
 from .cache import ResultCache, cache_key
 from .registry import InstanceRegistry, UnknownInstanceError
+from .views import UnknownViewError, ViewRegistry
 
 __all__ = [
     "ERROR_STATUS",
@@ -62,6 +73,8 @@ __all__ = [
 ERROR_STATUS: Tuple[Tuple[type, int], ...] = (
     (AdmissionRejected, 429),
     (UnknownInstanceError, 404),
+    (UnknownViewError, 404),
+    (UnsupportedDeltaError, 422),
     (ConfigError, 400),
     (ApplicabilityError, 422),
     (WorkerCrashError, 503),
@@ -164,6 +177,7 @@ class ServiceState:
         default_config: Optional[ExecutionConfig] = None,
     ) -> None:
         self.registry = InstanceRegistry()
+        self.views = ViewRegistry()
         self.cache = ResultCache(max_bytes=cache_bytes)
         self.admission = AdmissionController(
             max_concurrent=max_concurrent,
@@ -202,6 +216,15 @@ class ServiceState:
             "repro_service_errors_total",
             "Requests that failed, by exception class.",
             labelnames=("error",),
+        )
+        self._deltas_applied = self.metrics.counter(
+            "repro_service_delta_applied_total",
+            "Delta batches applied to registered instances.",
+            labelnames=("instance",),
+        )
+        self._view_refresh_seconds = self.metrics.counter(
+            "repro_service_view_refresh_seconds",
+            "Wall-clock seconds spent refreshing materialized views.",
         )
 
     # -- request-level plumbing ------------------------------------------------
@@ -254,9 +277,17 @@ class ServiceState:
                 return "metrics", self._handle_metrics, False
             if clean == "/instances":
                 return "instances", self._handle_list, False
+            if clean == "/views":
+                return "views", self._handle_view_list, False
+            if clean.startswith("/views/"):
+                return "views", self._handle_view_get, False
         elif method == "POST":
             if clean == "/instances":
                 return "instances", self._handle_register, True
+            if clean.startswith("/instances/") and clean.endswith("/deltas"):
+                return "deltas", self._handle_apply_delta, True
+            if clean == "/views":
+                return "views", self._handle_view_create, True
             if clean == "/query":
                 return "query", self._handle_query, True
             if clean == "/compare":
@@ -264,6 +295,8 @@ class ServiceState:
             if clean == "/explain":
                 return "explain", self._handle_explain, True
         elif method == "DELETE":
+            if clean.startswith("/views/"):
+                return "views", self._handle_view_drop, False
             if clean.startswith("/instances/"):
                 return "instances", self._handle_drop, False
         return clean.strip("/").split("/", 1)[0] or "root", None, False
@@ -340,6 +373,9 @@ class ServiceState:
             "repro_service_instances", "Registered instances."
         ).set(len(self.registry))
         self.metrics.gauge(
+            "repro_service_views", "Registered materialized views."
+        ).set(len(self.views))
+        self.metrics.gauge(
             "repro_service_active_executions", "Executions running now."
         ).set(admission["active"])
         self.metrics.gauge(
@@ -380,18 +416,106 @@ class ServiceState:
         except (ValueError, KeyError, TypeError) as error:
             raise ConfigError(f"malformed instance document: {error}")
         entry, old_digest = self.registry.replace(name, instance)
+        document_out = {"registered": entry.describe()}
         if old_digest is not None:
             # The name now points at different data: every cached response
-            # and statistics snapshot derived from the old content is stale.
+            # and statistics snapshot derived from the old content is stale
+            # — and so is the maintained state of any dependent view
+            # (wholesale replacement is not a delta; re-materialize).
             self.cache.invalidate(old_digest)
             self.statistics.entries.pop(old_digest, None)
-        return 200, {"registered": entry.describe()}, {}
+            dropped_views = self.views.drop_instance(name)
+            if dropped_views:
+                document_out["views_dropped"] = dropped_views
+        return 200, document_out, {}
 
     def _handle_drop(self, path, document):
         name = path.rstrip("/").rsplit("/", 1)[-1]
         entry = self.registry.drop(name)
         self.cache.invalidate(entry.digest)
         self.statistics.entries.pop(entry.digest, None)
+        document_out = {"dropped": entry.describe()}
+        dropped_views = self.views.drop_instance(name)
+        if dropped_views:
+            document_out["views_dropped"] = dropped_views
+        return 200, document_out, {}
+
+    def _handle_apply_delta(self, path, document):
+        """Mutate a registered instance by one delta batch.
+
+        The instance is replaced by its mutated form (new digest → only
+        the *old* digest's cache entries and statistics are invalidated;
+        responses for other instances stay warm), and every dependent
+        view refreshes by delta propagation — never by recomputation.
+        """
+        name = path.rstrip("/").rsplit("/", 2)[-2]
+        entry = self.registry.get(name)
+        payload = document.get("delta")
+        if payload is None:
+            raise ConfigError('request needs a "delta" document '
+                              '(the repro-delta/v1 format)')
+        try:
+            batch = delta_from_json(payload)
+        except (ValueError, KeyError, TypeError) as error:
+            if isinstance(error, ReproError):
+                raise
+            raise ConfigError(f"malformed delta document: {error}")
+        mutated = mutate_instance(entry.instance, batch)
+        new_entry, old_digest = self.registry.replace(name, mutated)
+        if old_digest is not None:
+            self.cache.invalidate(old_digest)
+            self.statistics.entries.pop(old_digest, None)
+        refreshed: List[Dict[str, Any]] = []
+        for view_entry in self.views.views_for(name):
+            started = time.perf_counter()
+            result = view_entry.view.apply(batch)
+            self._view_refresh_seconds.inc(time.perf_counter() - started)
+            refreshed.append({"view": view_entry.name, **result.to_dict()})
+        self._deltas_applied.inc(instance=name)
+        return 200, {
+            "instance": name,
+            "digest": new_entry.digest,
+            "generation": new_entry.generation,
+            "changes": len(batch),
+            "cache_invalidated": old_digest is not None,
+            "views_refreshed": refreshed,
+        }, {}
+
+    def _handle_view_list(self, path, document):
+        return 200, {"views": self.views.list()}, {}
+
+    def _handle_view_get(self, path, document):
+        name = path.rstrip("/").rsplit("/", 1)[-1]
+        entry = self.views.get(name)
+        summary = entry.describe()
+        summary["answer"] = _answer_rows(entry.view.answer())
+        return 200, {"view": summary}, {}
+
+    def _handle_view_create(self, path, document):
+        """Materialize a view over a registered instance.
+
+        The materialization is a real execution (one distributed run), so
+        it takes an admission slot like ``/query``; subsequent deltas
+        refresh the view under the ``maintenance`` meter tag only.
+        """
+        name = document.get("name")
+        if not isinstance(name, str) or not name:
+            raise ConfigError('view creation needs a "name": "<string>" field')
+        entry = self._resolve(document)
+        config = self._config_from(document)
+        with self.admission.slot():
+            view = api.materialize(entry.instance, config, name=name)
+        self._executions.inc(endpoint="views")
+        observe_report(self.metrics, view.base_report, scope=entry.name)
+        view_entry = self.views.register(name, entry.name, view)
+        return 200, {
+            "view": view_entry.describe(),
+            "digest": entry.digest,
+        }, {}
+
+    def _handle_view_drop(self, path, document):
+        name = path.rstrip("/").rsplit("/", 1)[-1]
+        entry = self.views.drop(name)
         return 200, {"dropped": entry.describe()}, {}
 
     def _handle_query(self, path, document):

@@ -1,0 +1,104 @@
+"""Materialized views held by the service.
+
+``POST /views`` pins a :class:`~repro.ivm.MaterializedView` over a
+registered instance; ``POST /instances/<name>/deltas`` then refreshes
+every dependent view by delta propagation instead of recomputing.  The
+registry is the instance-name → views mapping behind that flow: when an
+instance is mutated its views are refreshed in place, and when it is
+dropped (or wholesale re-registered with different data, which would
+leave a view's state stale) its views go with it.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..errors import ReproError
+from ..ivm import MaterializedView
+
+__all__ = ["UnknownViewError", "RegisteredView", "ViewRegistry"]
+
+
+class UnknownViewError(ReproError, KeyError):
+    """A request named a view that is not registered (HTTP 404)."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"no registered view named {name!r}")
+        self.name = name
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self.args[0]
+
+
+@dataclass(frozen=True)
+class RegisteredView:
+    """One named view plus the instance name it maintains."""
+
+    name: str
+    instance: str
+    view: MaterializedView
+
+    def describe(self) -> Dict[str, object]:
+        """A JSON-able summary (no tuple data)."""
+        summary = self.view.to_summary()
+        summary["name"] = self.name
+        summary["instance"] = self.instance
+        return summary
+
+
+class ViewRegistry:
+    """Thread-safe name → :class:`RegisteredView` map."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._views: Dict[str, RegisteredView] = {}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._views)
+
+    def register(self, name: str, instance: str,
+                 view: MaterializedView) -> RegisteredView:
+        """Register (or replace) ``name``; returns the new entry."""
+        entry = RegisteredView(name=name, instance=instance, view=view)
+        with self._lock:
+            self._views[name] = entry
+        return entry
+
+    def get(self, name: str) -> RegisteredView:
+        with self._lock:
+            entry = self._views.get(name)
+        if entry is None:
+            raise UnknownViewError(name)
+        return entry
+
+    def drop(self, name: str) -> RegisteredView:
+        with self._lock:
+            entry = self._views.pop(name, None)
+        if entry is None:
+            raise UnknownViewError(name)
+        return entry
+
+    def views_for(self, instance: str) -> List[RegisteredView]:
+        """Views over ``instance``, sorted by name (the refresh order)."""
+        with self._lock:
+            entries = [entry for entry in self._views.values()
+                       if entry.instance == instance]
+        return sorted(entries, key=lambda entry: entry.name)
+
+    def drop_instance(self, instance: str) -> List[str]:
+        """Drop every view over ``instance``; returns their names sorted."""
+        with self._lock:
+            names = sorted(name for name, entry in self._views.items()
+                           if entry.instance == instance)
+            for name in names:
+                del self._views[name]
+        return names
+
+    def list(self) -> List[Dict[str, object]]:
+        """Summaries of every registered view, sorted by name."""
+        with self._lock:
+            entries = sorted(self._views.values(), key=lambda e: e.name)
+        return [entry.describe() for entry in entries]

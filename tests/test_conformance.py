@@ -212,14 +212,15 @@ def test_default_run_covers_the_acceptance_grid():
         summary.coverage["semiring"]
     )
     # The default catalog, exactly: opt-in registrations (the chaos tier,
-    # the planner-choice, columnar-identity and process-identity
-    # invariants) must not leak into default campaigns.
+    # the planner-choice, columnar-identity, process-identity and
+    # ivm-identity invariants) must not leak into default campaigns.
     assert set(summary.coverage["invariant"]) == set(DEFAULT_INVARIANTS)
     assert set(DEFAULT_INVARIANTS) | {
         "chaos",
         "planner-choice",
         "columnar-identity",
         "process-identity",
+        "ivm-identity",
     } == set(INVARIANTS)
 
 

@@ -7,9 +7,13 @@ import pytest
 
 from repro.data import Instance, Relation, TreeQuery
 from repro.io import (
+    delta_from_json,
+    delta_to_json,
     instance_from_json,
     instance_to_json,
+    read_delta_json,
     read_relation_tsv,
+    write_delta_json,
     write_relation_tsv,
 )
 from repro.ram import evaluate
@@ -91,3 +95,34 @@ def test_json_rejects_custom_semirings():
 def test_json_rejects_unknown_semiring_name():
     with pytest.raises(ValueError):
         instance_from_json('{"semiring": "nope", "output": [], "relations": []}')
+
+
+def test_delta_json_roundtrip(tmp_path):
+    from repro.ivm import DeltaBatch, delete, insert
+
+    batch = DeltaBatch((
+        insert("R1", (1, 2), 3),
+        insert("R2", ((7, 8), "x"), 2.5),  # tuple-typed attribute value
+        delete("R1", (4, 5)),
+    ))
+    restored = delta_from_json(delta_to_json(batch))
+    assert restored == batch
+
+    path = str(tmp_path / "delta.json")
+    write_delta_json(batch, path)
+    assert read_delta_json(path) == batch
+    # the file mirror of write_instance_json: pretty, sorted, newline-ended
+    with open(path) as handle:
+        text = handle.read()
+    assert text.endswith("\n") and '"format": "repro-delta/v1"' in text
+
+
+def test_delta_json_rejects_wrong_format():
+    with pytest.raises(ValueError):
+        delta_from_json('{"format": "nope", "changes": []}')
+    with pytest.raises(ValueError):
+        delta_from_json('{"changes": []}')
+    # op validation fires during deserialization
+    with pytest.raises(ValueError):
+        delta_from_json('{"format": "repro-delta/v1", "changes": '
+                        '[{"relation": "R", "op": "upsert", "values": [1]}]}')

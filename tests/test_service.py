@@ -333,8 +333,133 @@ def test_metrics_exposes_prometheus_counters():
     assert 'repro_service_errors_total{error="UnknownInstanceError"} 1' in text
     assert "repro_service_cache_entries 1" in text
     assert "repro_service_instances 1" in text
+    # the IVM metric family renders even before any view/delta exists
+    assert "repro_service_views 0" in text
+    assert "# TYPE repro_service_delta_applied_total counter" in text
+    assert "# TYPE repro_service_view_refresh_seconds counter" in text
     # execution meters from the shared registry ride along
     assert "repro_last_max_load" in text
+
+
+# -- materialized views and deltas ---------------------------------------------
+
+
+def _delta_document(batch) -> dict:
+    from repro.io import delta_to_json
+    return json.loads(delta_to_json(batch))
+
+
+def _make_delta():
+    from repro.ivm import DeltaBatch, insert
+    return DeltaBatch((
+        insert("R1", (901, 902), 2),
+        insert("R2", (902, 903), 5),
+    ))
+
+
+def test_delta_endpoint_refreshes_views_and_invalidates_precisely():
+    from repro.workloads import zipf_matmul
+
+    state = ServiceState()
+    _register(state, "m", zipf_matmul(60, 60, 10, seed=3))
+    _register(state, "other", zipf_matmul(30, 30, 8, seed=5))
+    _query(state, {"instance": "m"})
+    _query(state, {"instance": "other"})
+
+    status, _, payload, _ = state.handle(
+        "POST", "/views", _body({"name": "v", "instance": "m"}))
+    assert status == 200
+    created = json.loads(payload)["view"]
+    assert created["deltas_applied"] == 0
+
+    status, _, payload, _ = state.handle(
+        "POST", "/instances/m/deltas",
+        _body({"delta": _delta_document(_make_delta())}))
+    assert status == 200
+    document = json.loads(payload)
+    assert document["changes"] == 2
+    assert document["cache_invalidated"] is True
+    assert document["generation"] == 2
+    [refresh] = document["views_refreshed"]
+    assert refresh["view"] == "v"
+    assert refresh["runs"] >= 1
+
+    # only the mutated instance's cache entries died
+    _, _, _, headers = _query(state, {"instance": "m"})
+    assert headers["X-Repro-Cache"] == "miss"
+    _, _, _, headers = _query(state, {"instance": "other"})
+    assert headers["X-Repro-Cache"] == "hit"
+
+    # the refreshed view's answer is bit-identical to the fresh recompute
+    status, _, payload, _ = state.handle("GET", "/views/v", None)
+    view_doc = json.loads(payload)["view"]
+    _, query_doc, _, _ = _query(state, {"instance": "m"})
+    assert view_doc["answer"] == query_doc["answer"]
+    assert view_doc["deltas_applied"] == 1
+    assert view_doc["report"]["maintenance_load"] >= 1
+
+    # metrics counted the delta and the refresh wall-clock
+    _, _, payload, _ = state.handle("GET", "/metrics", None)
+    text = payload.decode("utf-8")
+    assert 'repro_service_delta_applied_total{instance="m"} 1' in text
+    assert "repro_service_views 1" in text
+    assert "repro_service_view_refresh_seconds" in text
+
+
+def test_unsupported_delta_maps_to_422():
+    from repro.ivm import DeltaBatch, delete
+    from repro.workloads import line_instance
+    from repro.semiring import TROPICAL_MIN_PLUS
+    from repro.data.query import Instance
+
+    state = ServiceState()
+    base = line_instance(3, 30, 8, seed=2)
+    tropical = Instance(
+        base.query,
+        {name: rel for name, rel in base.relations.items()},
+        TROPICAL_MIN_PLUS,
+    )
+    _register(state, "trop", tropical)
+    key = next(iter(tropical.relation("R1").tuples))
+    status, _, payload, _ = state.handle(
+        "POST", "/instances/trop/deltas",
+        _body({"delta": _delta_document(DeltaBatch((delete("R1", key),)))}))
+    assert status == 422
+    assert json.loads(payload)["error"] == "UnsupportedDeltaError"
+
+
+def test_delta_endpoint_rejects_malformed_documents():
+    state = ServiceState()
+    _register(state, "m", planted_out_matmul(n=20, out=40))
+    status, _, payload, _ = state.handle(
+        "POST", "/instances/m/deltas", _body({"delta": {"format": "nope"}}))
+    assert status == 400
+    status, _, payload, _ = state.handle(
+        "POST", "/instances/m/deltas", _body({}))
+    assert status == 400
+    status, _, _, _ = state.handle(
+        "POST", "/instances/ghost/deltas",
+        _body({"delta": _delta_document(_make_delta())}))
+    assert status == 404
+
+
+def test_dropping_or_replacing_an_instance_drops_its_views():
+    from repro.workloads import zipf_matmul
+
+    state = ServiceState()
+    _register(state, "m", zipf_matmul(40, 40, 9, seed=7))
+    state.handle("POST", "/views", _body({"name": "v", "instance": "m"}))
+
+    # wholesale replacement with different data leaves no stale view
+    _register(state, "m", zipf_matmul(40, 40, 9, seed=8))
+    status, _, payload, _ = state.handle("GET", "/views", None)
+    assert json.loads(payload)["views"] == []
+
+    state.handle("POST", "/views", _body({"name": "v2", "instance": "m"}))
+    status, _, payload, _ = state.handle("DELETE", "/instances/m", None)
+    assert "v2" in json.loads(payload)["views_dropped"]
+    status, _, _, _ = state.handle("GET", "/views/v2", None)
+    assert status == 404
 
 
 # -- the live HTTP server ------------------------------------------------------
